@@ -1,0 +1,32 @@
+// Figure 1 regenerator: the four pillars of energy-efficient HPC, annotated
+// with the live subsystems of the simulated facility that realize each
+// pillar (proof the substrate covers all four).
+#include <cstdio>
+
+#include "core/figures.hpp"
+#include "sim/cluster.hpp"
+
+int main() {
+  using namespace oda;
+  std::printf("%s\n", core::render_figure1().c_str());
+
+  // Show the pillars are live: count sensors per pillar in the simulator.
+  sim::ClusterParams params;
+  sim::ClusterSimulation cluster(params);
+  std::size_t infra = 0, hardware = 0, software = 0;
+  for (const auto& s : cluster.sensors()) {
+    if (s.path.rfind("facility/", 0) == 0 || s.path.rfind("weather/", 0) == 0) {
+      ++infra;
+    } else if (s.path.rfind("scheduler/", 0) == 0) {
+      ++software;
+    } else {
+      ++hardware;  // rack*/node*, network, cluster aggregates
+    }
+  }
+  std::printf("live sensors per pillar in the reference simulation:\n");
+  std::printf("  building-infrastructure : %zu\n", infra);
+  std::printf("  system-hardware         : %zu\n", hardware);
+  std::printf("  system-software         : %zu\n", software);
+  std::printf("  applications            : per-job records via the scheduler\n");
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Experiment P2 (DESIGN.md): analytics-kernel microbenchmarks — the
+// algorithmic costs underlying the four analytics types: FFT scaling,
+// AR/Holt-Winters fitting, PCA, k-means, isolation forest, random forest,
+// and DTW. These are the design-choice ablation data for DESIGN.md §6.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "math/ar_model.hpp"
+#include "math/decision_tree.hpp"
+#include "math/distance.hpp"
+#include "math/fft.hpp"
+#include "math/isolation_forest.hpp"
+#include "math/kmeans.hpp"
+#include "math/pca.hpp"
+#include "math/smoothing.hpp"
+
+namespace {
+
+using namespace oda;
+
+std::vector<double> noisy_seasonal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = 100.0 + 10.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 96.0) +
+            rng.normal(0.0, 1.0);
+  }
+  return xs;
+}
+
+void BM_FftPowerOfTwo(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<math::Complex> xs(n);
+  for (auto& c : xs) c = math::Complex(rng.normal(), 0.0);
+  for (auto _ : state) {
+    auto copy = xs;
+    math::fft_radix2(copy, false);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftPowerOfTwo)->Range(256, 1 << 16)->Complexity(benchmark::oNLogN);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<math::Complex> xs(n);  // prime-ish sizes exercise Bluestein
+  for (auto& c : xs) c = math::Complex(rng.normal(), 0.0);
+  for (auto _ : state) {
+    auto out = math::fft(xs);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(4093);
+
+void BM_ArFit(benchmark::State& state) {
+  const auto xs = noisy_seasonal(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto model = math::ArModel::fit_yule_walker(xs, 8);
+    benchmark::DoNotOptimize(&model);
+  }
+}
+BENCHMARK(BM_ArFit)->Arg(1024)->Arg(8192);
+
+void BM_HoltWintersFit(benchmark::State& state) {
+  const auto xs = noisy_seasonal(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    math::HoltWinters hw(0.25, 0.02, 0.15, 96);
+    hw.fit(xs);
+    benchmark::DoNotOptimize(hw.forecast(1));
+  }
+}
+BENCHMARK(BM_HoltWintersFit)->Arg(1024)->Arg(8192);
+
+void BM_PcaFit(benchmark::State& state) {
+  Rng rng(5);
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> data;
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<double> row(16);
+    for (auto& v : row) v = rng.normal();
+    data.push_back(std::move(row));
+  }
+  const auto m = math::Matrix::from_rows(data);
+  for (auto _ : state) {
+    auto pca = math::Pca::fit(m, 4);
+    benchmark::DoNotOptimize(&pca);
+  }
+}
+BENCHMARK(BM_PcaFit)->Arg(256)->Arg(2048);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 1024; ++i) {
+    data.push_back({rng.normal(i % 4 * 10.0, 1.0), rng.normal(0, 1)});
+  }
+  for (auto _ : state) {
+    Rng local(7);
+    auto result = math::kmeans(data, static_cast<std::size_t>(state.range(0)), local);
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(4)->Arg(16);
+
+void BM_IsolationForestFit(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<std::vector<double>> data;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    std::vector<double> row(15);
+    for (auto& v : row) v = rng.normal();
+    data.push_back(std::move(row));
+  }
+  for (auto _ : state) {
+    Rng local(11);
+    auto forest = math::IsolationForest::fit(data, {}, local);
+    benchmark::DoNotOptimize(&forest);
+  }
+}
+BENCHMARK(BM_IsolationForestFit)->Arg(512)->Arg(4096);
+
+void BM_IsolationForestScore(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 1024; ++i) {
+    std::vector<double> row(15);
+    for (auto& v : row) v = rng.normal();
+    data.push_back(std::move(row));
+  }
+  auto forest = math::IsolationForest::fit(data, {}, rng);
+  const auto& sample = data[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.score(sample));
+  }
+}
+BENCHMARK(BM_IsolationForestScore);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<math::LabeledSample> data;
+  for (int i = 0; i < 512; ++i) {
+    std::vector<double> f(10);
+    for (auto& v : f) v = rng.normal();
+    data.push_back({std::move(f), static_cast<std::size_t>(rng.uniform_int(0, 1))});
+  }
+  math::RandomForest::Params params;
+  params.n_trees = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng local(17);
+    auto forest = math::RandomForest::fit(data, 2, params, local);
+    benchmark::DoNotOptimize(&forest);
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(10)->Arg(50);
+
+void BM_Dtw(benchmark::State& state) {
+  Rng rng(19);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n), b(n);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(math::dtw_distance(a, b, n / 10));
+  }
+}
+BENCHMARK(BM_Dtw)->Arg(128)->Arg(1024);
+
+void BM_P2QuantileAdd(benchmark::State& state) {
+  Rng rng(23);
+  P2Quantile q(0.95);
+  for (auto _ : state) {
+    q.add(rng.normal());
+  }
+  benchmark::DoNotOptimize(q.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_P2QuantileAdd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Experiment E7 (DESIGN.md): the paper's Sec. V-C beyond-the-datacenter use
+// case — LLNL's utility contract requires notice before facility power moves
+// more than a threshold within 15 minutes; they forecast spikes with Fourier
+// analysis of historical power [72]. Here: a 14-day facility power trace
+// from the simulator, a spectral (FFT) forecaster fit on the first 10 days,
+// and notification precision/recall on the last 4 days, with the rule
+// threshold swept relative to facility scale.
+#include <cstdio>
+#include <memory>
+
+#include "analytics/predictive/backtest.hpp"
+#include "analytics/predictive/spectral.hpp"
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "sim/cluster.hpp"
+#include "telemetry/collector.hpp"
+
+namespace {
+using namespace oda;
+}
+
+int main() {
+  std::printf("=== E7: spectral power-spike forecasting + utility "
+              "notification rule (LLNL, Sec. V-C) ===\n");
+
+  // 14 days of facility power at 5-minute resolution.
+  sim::ClusterParams params;
+  params.seed = 83;
+  params.dt = 60;
+  // Well below saturation so the diurnal submission cycle actually shows up
+  // in facility power (a saturated machine runs flat around the clock; at
+  // this rate utilization swings ~0.35-0.65 through the day).
+  params.workload.peak_arrival_rate_per_hour = 4.0;
+  params.workload.seed = 83;
+  sim::ClusterSimulation cluster(params);
+  telemetry::TimeSeriesStore store(1 << 18);
+  telemetry::Collector collector(cluster, &store, nullptr);
+  collector.add_group({"power", "facility/total_power", kMinute});
+  while (cluster.now() < 14 * kDay) {
+    cluster.step();
+    collector.collect();
+  }
+  // Utilities meter interval-average power, not instantaneous draw: the
+  // contract series is the 15-minute mean, which also filters the
+  // unpredictable single-job start/stop steps out of the rule.
+  const auto series = store.query_aggregated(
+      "facility/total_power", 0, cluster.now(), 15 * kMinute,
+      telemetry::Aggregation::kMean);
+  const std::size_t per_day = kDay / (15 * kMinute);
+  const std::size_t train_n = 10 * per_day;
+  std::printf("trace: %zu samples (15-min interval means), mean power %.1f kW\n\n",
+              series.size(), mean(series.values) / 1000.0);
+
+  // Forecast quality: spectral vs the standard suite on the held-out tail.
+  const std::vector<double> train(series.values.begin(),
+                                  series.values.begin() + train_n);
+  const std::vector<double> test(series.values.begin() + train_n,
+                                 series.values.end());
+
+  analytics::SpectralForecaster spectral(8);
+  spectral.fit(train);
+  const auto spectral_fc = spectral.forecast(test.size());
+  analytics::PersistenceForecaster persistence;
+  persistence.fit(train);
+  const auto persistence_fc = persistence.forecast(test.size());
+
+  double mae_spec = 0.0, mae_pers = 0.0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    mae_spec += std::abs(spectral_fc[i] - test[i]);
+    mae_pers += std::abs(persistence_fc[i] - test[i]);
+  }
+  mae_spec /= static_cast<double>(test.size());
+  mae_pers /= static_cast<double>(test.size());
+  std::printf("4-day-ahead forecast MAE: spectral %.1f kW vs persistence "
+              "%.1f kW (skill %+.2f)\n",
+              mae_spec / 1000.0, mae_pers / 1000.0, 1.0 - mae_spec / mae_pers);
+  std::printf("dominant components recovered:\n");
+  for (const auto& c : spectral.components()) {
+    const double period_h = c.frequency > 0.0 ? 0.25 / c.frequency : 0.0;
+    if (period_h > 1.0) {
+      std::printf("  period %6.1f h  amplitude %6.2f kW\n", period_h,
+                  c.amplitude / 1000.0);
+    }
+  }
+
+  // Notification rule sweep. LLNL's contract is 750 kW / 15 min on a
+  // ~25 MW site — 3% of facility power over a window matched to how fast
+  // that machine's load moves. Scaled to our ~18 kW simulated facility,
+  // whose aggregate power moves on job (hour) timescales, the equivalent
+  // contract is ~1.5 kW over 2 h; the detector and scorer are identical.
+  std::printf("\nnotification rule: |dP| over 2 h exceeding threshold "
+              "(events on the 4-day held-out window)\n");
+  TextTable table({"threshold [kW]", "actual events", "predicted",
+                   "hits", "misses", "false alarms", "precision", "recall"});
+  for (std::size_t c = 0; c <= 7; ++c) table.set_align(c, Align::kRight);
+  analytics::NotificationRule rule;
+  rule.window = 2 * kHour;
+  rule.sample_period = 15 * kMinute;
+  for (const double threshold_kw : {0.8, 1.2, 1.6}) {
+    rule.threshold_w = threshold_kw * 1000.0;
+    const auto actual = analytics::detect_power_swings(test, rule);
+    const auto predicted = analytics::detect_power_swings(spectral_fc, rule);
+    // A prediction within 1.5 h of the actual crossing counts as a usable
+    // advance notification.
+    const auto score =
+        analytics::score_notifications(predicted, actual, /*tolerance=*/6);
+    table.add_row({format_double(threshold_kw, 1),
+                   std::to_string(score.actual),
+                   std::to_string(score.predicted),
+                   std::to_string(score.hits), std::to_string(score.misses),
+                   std::to_string(score.false_alarms),
+                   format_double(score.precision(), 2),
+                   format_double(score.recall(), 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nexpected shape: the 24 h component dominates the spectrum, so "
+              "notifications fire with high precision on the predictable "
+              "daily ramps; recall is limited because most threshold "
+              "crossings on a machine this small come from individual large "
+              "jobs starting/stopping (one 16-node job is ~25%% of IT power "
+              "here, vs <1%% on a leadership system) — the stochastic "
+              "component pure-Fourier forecasting cannot anticipate, exactly "
+              "the limitation the LLNL study reports. Forecast MAE is "
+              "likewise noise-floor-bound at this scale.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Experiment E6 (DESIGN.md): the paper's Sec. V-B multi-pillar claim —
+// crossing pillar boundaries buys efficiency a siloed system cannot reach.
+// Here: job placement (a system-software decision) made with building-
+// infrastructure awareness. Pack placement concentrates heat into one rack
+// (local hotspot -> extra leakage + fan power); thermal-aware placement
+// spreads it. Identical workload, seeds, and plant; only placement differs.
+#include <cstdio>
+#include <memory>
+
+#include "analytics/descriptive/kpi.hpp"
+#include "analytics/prescriptive/placement.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+#include "sim/cluster.hpp"
+#include "telemetry/collector.hpp"
+
+namespace {
+
+using namespace oda;
+
+struct Outcome {
+  double facility_kwh = 0.0;
+  double it_kwh = 0.0;
+  double pue = 0.0;
+  double max_inlet_c = 0.0;
+  double max_cpu_c = 0.0;
+  double utilization = 0.0;
+  std::size_t completed = 0;
+};
+
+Outcome run_case(bool thermal_aware) {
+  sim::ClusterParams params;
+  params.racks = 4;
+  params.nodes_per_rack = 8;
+  params.seed = 71;
+  params.dt = 30;
+  params.rack_thermal_coupling_c = 9.0;  // pronounced hotspot physics
+  params.workload.seed = 71;
+  // ~40-50% utilization: placement only matters when the machine has slack
+  // (a saturated machine forces every policy into the same allocation).
+  params.workload.peak_arrival_rate_per_hour = 8.0;
+  params.workload.max_nodes_per_job = 4;
+  params.workload.max_duration = 4 * kHour;
+
+  sim::ClusterSimulation cluster(params);
+  if (thermal_aware) {
+    cluster.scheduler().set_placement(analytics::make_thermal_placement(cluster));
+  } else {
+    cluster.scheduler().set_placement(
+        std::make_shared<analytics::PackPlacement>(params.nodes_per_rack));
+  }
+
+  telemetry::TimeSeriesStore store(1 << 17);
+  telemetry::Collector collector(cluster, &store, nullptr);
+  collector.add_all_sensors(60);
+
+  Outcome o;
+  double busy_steps = 0.0, total_steps = 0.0;
+  while (cluster.now() < 3 * kDay) {
+    cluster.step();
+    collector.collect();
+    for (std::size_t r = 0; r < cluster.rack_count(); ++r) {
+      o.max_inlet_c = std::max(o.max_inlet_c, cluster.rack_inlet_temp_c(r));
+    }
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+      o.max_cpu_c = std::max(o.max_cpu_c, cluster.node(i).cpu_temp_c());
+      busy_steps += cluster.node(i).progress_rate() > 0.0 ? 1.0 : 0.0;
+      total_steps += 1.0;
+    }
+  }
+  o.utilization = busy_steps / total_steps;
+  o.facility_kwh = cluster.facility_energy_j() / units::kJoulesPerKilowattHour;
+  o.it_kwh = cluster.it_energy_j() / units::kJoulesPerKilowattHour;
+  o.pue = o.it_kwh > 0.0 ? o.facility_kwh / o.it_kwh : 0.0;
+  o.completed = cluster.scheduler().completed().size();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E6: siloed (pack) vs multi-pillar (thermal-aware) placement "
+              "(Sec. V-B) ===\n");
+  std::printf("setup: 32 nodes / 4 racks, ~50%% load, identical workload and "
+              "plant; 3 simulated days\n\n");
+
+  const Outcome pack = run_case(false);
+  const Outcome aware = run_case(true);
+
+  TextTable table({"placement", "facility kWh", "IT kWh", "PUE",
+                   "max rack inlet [C]", "max CPU [C]", "utilization",
+                   "jobs done"});
+  for (std::size_t c = 1; c <= 7; ++c) table.set_align(c, Align::kRight);
+  const auto row = [&](const char* name, const Outcome& o) {
+    table.add_row({name, format_double(o.facility_kwh, 1),
+                   format_double(o.it_kwh, 1), format_double(o.pue, 3),
+                   format_double(o.max_inlet_c, 1),
+                   format_double(o.max_cpu_c, 1),
+                   format_double(o.utilization, 2),
+                   std::to_string(o.completed)});
+  };
+  row("pack (siloed)", pack);
+  row("thermal-aware (multi-pillar)", aware);
+  std::printf("%s", table.render().c_str());
+
+  const double saving =
+      (pack.facility_kwh - aware.facility_kwh) / pack.facility_kwh * 100.0;
+  std::printf("\nfacility energy saving from crossing the pillar boundary: "
+              "%.2f%%\n", saving);
+  std::printf("expected shape: thermal-aware placement lowers peak rack inlet "
+              "and total energy at equal throughput — the paper's argument "
+              "for multi-pillar ODA despite its integration cost.\n");
+  return 0;
+}

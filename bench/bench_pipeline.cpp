@@ -1,0 +1,121 @@
+// Experiment P1 (DESIGN.md): telemetry-pipeline microbenchmarks — the
+// infrastructure costs behind every ODA deployment: bus publish fan-out,
+// store insert/query/aggregate, full collector passes, and simulator step
+// cost at several machine sizes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "sim/cluster.hpp"
+#include "telemetry/bus.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/store.hpp"
+
+namespace {
+
+using namespace oda;
+
+void BM_BusPublish(benchmark::State& state) {
+  telemetry::MessageBus bus;
+  const auto subscribers = state.range(0);
+  std::size_t delivered = 0;
+  for (std::int64_t i = 0; i < subscribers; ++i) {
+    bus.subscribe(i % 2 ? "rack*/node*/power" : "*",
+                  [&delivered](const telemetry::Reading&) { ++delivered; });
+  }
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    bus.publish("rack00/node01/power", ++t, 150.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_BusPublish)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_StoreInsert(benchmark::State& state) {
+  telemetry::TimeSeriesStore store(1 << 16);
+  TimePoint t = 0;
+  for (auto _ : state) {
+    store.insert("rack00/node01/power", {++t, 150.0});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreInsert);
+
+void BM_StoreQueryRange(benchmark::State& state) {
+  telemetry::TimeSeriesStore store(1 << 16);
+  for (TimePoint t = 0; t < 40000; ++t) {
+    store.insert("s", {t, static_cast<double>(t % 100)});
+  }
+  const auto span = state.range(0);
+  for (auto _ : state) {
+    auto slice = store.query("s", 20000, 20000 + span);
+    benchmark::DoNotOptimize(slice.values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * span);
+}
+BENCHMARK(BM_StoreQueryRange)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_StoreAggregate(benchmark::State& state) {
+  telemetry::TimeSeriesStore store(1 << 16);
+  for (TimePoint t = 0; t < 40000; ++t) {
+    store.insert("s", {t, static_cast<double>(t % 100)});
+  }
+  for (auto _ : state) {
+    auto slice = store.query_aggregated("s", 0, 40000, 600,
+                                        telemetry::Aggregation::kMean);
+    benchmark::DoNotOptimize(slice.values.data());
+  }
+}
+BENCHMARK(BM_StoreAggregate);
+
+void BM_StoreFrame(benchmark::State& state) {
+  telemetry::TimeSeriesStore store(1 << 14);
+  std::vector<std::string> paths;
+  for (int s = 0; s < 16; ++s) {
+    paths.push_back("sensor" + std::to_string(s));
+    for (TimePoint t = 0; t < 5000; ++t) {
+      store.insert(paths.back(), {t, static_cast<double>(t + s)});
+    }
+  }
+  for (auto _ : state) {
+    auto frame = store.frame(paths, 0, 5000, 60);
+    benchmark::DoNotOptimize(frame.values.data());
+  }
+}
+BENCHMARK(BM_StoreFrame);
+
+void BM_CollectorPass(benchmark::State& state) {
+  sim::ClusterParams params;
+  params.racks = static_cast<std::size_t>(state.range(0));
+  params.nodes_per_rack = 16;
+  sim::ClusterSimulation cluster(params);
+  telemetry::TimeSeriesStore store(1 << 12);
+  telemetry::Collector collector(cluster, &store, nullptr);
+  collector.add_all_sensors(cluster.dt());
+  cluster.step();
+  collector.collect();  // warm-up: first insert allocates each ring buffer
+  for (auto _ : state) {
+    collector.collect();
+  }
+  state.counters["sensors"] =
+      static_cast<double>(collector.catalog().size());
+}
+BENCHMARK(BM_CollectorPass)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_SimStep(benchmark::State& state) {
+  sim::ClusterParams params;
+  params.racks = static_cast<std::size_t>(state.range(0));
+  params.nodes_per_rack = 16;
+  params.workload.peak_arrival_rate_per_hour = 60.0;
+  sim::ClusterSimulation cluster(params);
+  cluster.run_for(kHour);  // warm up with jobs running
+  for (auto _ : state) {
+    cluster.step();
+  }
+  state.counters["nodes"] = static_cast<double>(cluster.node_count());
+}
+BENCHMARK(BM_SimStep)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// The ENI-style composition from the paper's Figure 3 / Sec. V-A (Bortot et
+// al. [39]): a *diagnostic* component that detects infrastructure anomalies
+// (aided by a periodic stress test) feeding a *prescriptive* component that
+// responds with cooling-system actions — two cells of the grid, one pillar,
+// two disciplines.
+//
+//   ./eni_cooling
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "analytics/diagnostic/anomaly.hpp"
+#include "analytics/prescriptive/controller.hpp"
+#include "analytics/prescriptive/response.hpp"
+#include "common/string_util.hpp"
+#include "sim/cluster.hpp"
+#include "telemetry/collector.hpp"
+
+int main() {
+  using namespace oda;
+
+  sim::ClusterParams params;
+  params.seed = 99;
+  params.weather.mean_temp_c = 26.0;  // chiller territory
+  sim::ClusterSimulation cluster(params);
+  telemetry::TimeSeriesStore store(1 << 16);
+  telemetry::Collector collector(cluster, &store, nullptr);
+  collector.add_all_sensors(60);
+
+  // Diagnostic half: EWMA control charts on the cooling plant's sensors.
+  struct PlantDetector {
+    std::string sensor;
+    std::string condition;  // what an alarm on this sensor means
+    analytics::EwmaDetector detector{0.05, 5.0};
+  };
+  std::vector<PlantDetector> detectors;
+  detectors.push_back({"facility/pump_power", "pump-degradation",
+                       analytics::EwmaDetector(0.05, 5.0)});
+  detectors.push_back({"facility/chiller_power", "thermal-runaway",
+                       analytics::EwmaDetector(0.05, 5.0)});
+
+  // Prescriptive half: the automatic response policy.
+  auto policy = analytics::ResponsePolicy::standard(
+      analytics::ResponseMode::kAutomatic);
+  std::vector<analytics::Actuation> actuations;
+
+  // Ground truth: a pump degradation begins on day 2.
+  const TimePoint fault_start = 2 * kDay;
+  const TimePoint fault_end = fault_start + 12 * kHour;
+  cluster.faults().schedule({sim::FaultKind::kPumpDegradation, "facility",
+                             fault_start, fault_end, 1.7});
+
+  std::printf("ENI-style diagnostic->prescriptive cooling pipeline\n");
+  std::printf("fault injected: pump degradation %s .. %s\n\n",
+              format_time(fault_start).c_str(), format_time(fault_end).c_str());
+
+  std::set<std::string> already_responded;
+  TimePoint first_detection = -1;
+  while (cluster.now() < 3 * kDay) {
+    cluster.step();
+    collector.collect();
+
+    if (cluster.now() % (5 * kMinute) == 0) {
+      for (auto& d : detectors) {
+        const auto latest = store.latest(d.sensor);
+        if (!latest) continue;
+        d.detector.observe(latest->value);
+        if (cluster.now() > 6 * kHour && d.detector.score() >= 1.0 &&
+            !already_responded.count(d.condition)) {
+          already_responded.insert(d.condition);
+          if (first_detection < 0) first_detection = cluster.now();
+          std::printf("[%s] DIAGNOSIS: %s on %s (score %.1f)\n",
+                      format_time(cluster.now()).c_str(), d.condition.c_str(),
+                      d.sensor.c_str(), d.detector.score());
+          const auto action = policy.respond(
+              {d.condition, d.sensor, d.detector.score()}, cluster, actuations);
+          std::printf("[%s] RESPONSE : %s\n",
+                      format_time(cluster.now()).c_str(), action.action.c_str());
+        }
+      }
+    }
+  }
+
+  std::printf("\naudit log (%zu actuations):\n", actuations.size());
+  for (const auto& a : actuations) {
+    std::printf("  [%s] %s: %s %.2f -> %.2f (%s)\n",
+                format_time(a.time).c_str(), a.controller.c_str(),
+                a.knob.c_str(), a.old_value, a.new_value, a.reason.c_str());
+  }
+  if (first_detection >= 0) {
+    std::printf("\ndetection latency after fault onset: %s\n",
+                format_duration(first_detection - fault_start).c_str());
+  } else {
+    std::printf("\nno detection fired (unexpected for this scenario)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# One-shot reproduction: configure, build, run the full test suite, and
+# regenerate every paper artifact and experiment into ./artifacts/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure
+
+mkdir -p artifacts
+for b in build/bench/bench_*; do
+  name="$(basename "$b")"
+  echo "== ${name} =="
+  "$b" | tee "artifacts/${name}.txt"
+done
+
+echo
+echo "artifacts written to ./artifacts/"

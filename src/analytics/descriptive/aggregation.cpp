@@ -1,0 +1,92 @@
+#include "analytics/descriptive/aggregation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+
+namespace oda::analytics {
+
+std::vector<QuantileSummary> quantile_transport(
+    const telemetry::TimeSeriesStore& store, const std::string& sensor_pattern,
+    TimePoint from, TimePoint to, std::size_t group_depth) {
+  std::map<std::string, std::pair<std::size_t, std::vector<double>>> groups;
+  for (const auto& path : store.match(sensor_pattern)) {
+    const auto parts = split(path, '/');
+    std::string group;
+    for (std::size_t i = 0; i < std::min(group_depth, parts.size()); ++i) {
+      if (i) group += '/';
+      group += parts[i];
+    }
+    const auto slice = store.query(path, from, to);
+    auto& [count, pooled] = groups[group];
+    ++count;
+    pooled.insert(pooled.end(), slice.values.begin(), slice.values.end());
+  }
+
+  std::vector<QuantileSummary> out;
+  for (auto& [group, entry] : groups) {
+    auto& [count, pooled] = entry;
+    QuantileSummary s;
+    s.group = group;
+    s.sensors = count;
+    s.samples = pooled.size();
+    if (!pooled.empty()) {
+      std::sort(pooled.begin(), pooled.end());
+      const auto q = [&](double p) {
+        const double pos = p * static_cast<double>(pooled.size() - 1);
+        const auto lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, pooled.size() - 1);
+        return pooled[lo] + (pos - static_cast<double>(lo)) * (pooled[hi] - pooled[lo]);
+      };
+      s.q10 = q(0.10);
+      s.q25 = q(0.25);
+      s.q50 = q(0.50);
+      s.q75 = q(0.75);
+      s.q90 = q(0.90);
+      s.min = pooled.front();
+      s.max = pooled.back();
+      s.mean = mean(pooled);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<double> remove_outliers_iqr(const std::vector<double>& values,
+                                        double k) {
+  if (values.size() < 4) return values;
+  const double q1 = quantile(values, 0.25);
+  const double q3 = quantile(values, 0.75);
+  const double iqr = q3 - q1;
+  const double lo = q1 - k * iqr;
+  const double hi = q3 + k * iqr;
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    if (v >= lo && v <= hi) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<SensorSnapshot> snapshot_sensors(
+    const telemetry::TimeSeriesStore& store, const std::string& pattern,
+    TimePoint from, TimePoint to) {
+  std::vector<SensorSnapshot> out;
+  for (const auto& path : store.match(pattern)) {
+    const auto slice = store.query(path, from, to);
+    if (slice.empty()) continue;
+    SensorSnapshot s;
+    s.path = path;
+    s.latest = slice.values.back();
+    s.mean = mean(slice.values);
+    s.p95 = quantile(slice.values, 0.95);
+    const double sd = stddev(slice.values);
+    s.zscore = sd > 0.0 ? (s.latest - s.mean) / sd : 0.0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace oda::analytics

@@ -1,0 +1,48 @@
+// Descriptive aggregation pipelines: PerSyst-style [6] quantile transport
+// (summarize thousands of node sensors into per-group quantile vectors) and
+// IQR-based outlier removal — the "no complex knowledge extraction" data
+// conditioning the descriptive row of the framework allows.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::analytics {
+
+/// Quantile summary of one sensor group over an interval.
+struct QuantileSummary {
+  std::string group;
+  std::size_t sensors = 0;
+  std::size_t samples = 0;
+  double q10 = 0.0, q25 = 0.0, q50 = 0.0, q75 = 0.0, q90 = 0.0;
+  double min = 0.0, max = 0.0, mean = 0.0;
+};
+
+/// Groups sensors by a path prefix of `depth` components ("rack00/node01/x"
+/// at depth 1 groups by rack) and summarizes each group's pooled samples.
+std::vector<QuantileSummary> quantile_transport(
+    const telemetry::TimeSeriesStore& store, const std::string& sensor_pattern,
+    TimePoint from, TimePoint to, std::size_t group_depth);
+
+/// Removes IQR outliers: values outside [q1 - k*IQR, q3 + k*IQR].
+std::vector<double> remove_outliers_iqr(const std::vector<double>& values,
+                                        double k = 1.5);
+
+/// Per-sensor health snapshot used by dashboards: latest value plus how it
+/// compares to the interval's distribution.
+struct SensorSnapshot {
+  std::string path;
+  double latest = 0.0;
+  double mean = 0.0;
+  double p95 = 0.0;
+  double zscore = 0.0;  // latest vs interval distribution
+};
+std::vector<SensorSnapshot> snapshot_sensors(
+    const telemetry::TimeSeriesStore& store, const std::string& pattern,
+    TimePoint from, TimePoint to);
+
+}  // namespace oda::analytics

@@ -1,0 +1,178 @@
+#include "analytics/descriptive/dashboard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "analytics/descriptive/aggregation.hpp"
+#include "analytics/descriptive/kpi.hpp"
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace oda::analytics {
+
+std::string sparkline(std::span<const double> values, std::size_t width) {
+  static constexpr char kLevels[] = " .:-=+*#%@";
+  constexpr std::size_t kLevelCount = sizeof(kLevels) - 2;  // max index
+  if (values.empty()) return std::string(width, ' ');
+  // Downsample/stretch to width via piecewise means.
+  std::string out;
+  out.reserve(width);
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (std::size_t w = 0; w < width; ++w) {
+    const std::size_t a = w * values.size() / width;
+    const std::size_t b = std::max(a + 1, (w + 1) * values.size() / width);
+    double sum = 0.0;
+    for (std::size_t i = a; i < b && i < values.size(); ++i) sum += values[i];
+    const double v = sum / static_cast<double>(std::min(b, values.size()) - a);
+    std::size_t level = 0;
+    if (hi > lo) {
+      level = static_cast<std::size_t>((v - lo) / (hi - lo) *
+                                       static_cast<double>(kLevelCount));
+      level = std::min(level, kLevelCount);
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+namespace {
+
+std::string series_cell(const telemetry::TimeSeriesStore& store,
+                        const std::string& path, TimePoint from, TimePoint to,
+                        int precision = 1) {
+  const auto slice = store.query(path, from, to);
+  if (slice.empty()) return "n/a";
+  return format_double(slice.values.back(), precision) + "  [" +
+         sparkline(slice.values, 24) + "]";
+}
+
+}  // namespace
+
+std::string facility_dashboard(const telemetry::TimeSeriesStore& store,
+                               TimePoint from, TimePoint to) {
+  TextTable table({"metric", "latest [trend]", "interval mean"});
+  table.set_title("FACILITY DASHBOARD  (" + format_time(from) + " .. " +
+                  format_time(to) + ")");
+  const auto add_row = [&](const std::string& label, const std::string& path,
+                           int precision = 1) {
+    const auto slice = store.query(path, from, to);
+    table.add_row({label, series_cell(store, path, from, to, precision),
+                   slice.empty() ? "n/a" : format_double(mean(slice.values), precision)});
+  };
+  add_row("IT power [W]", "cluster/it_power", 0);
+  add_row("facility power [W]", "facility/total_power", 0);
+  add_row("cooling power [W]", "facility/cooling_power", 0);
+  add_row("chiller power [W]", "facility/chiller_power", 0);
+  add_row("PDU loss [W]", "facility/pdu_loss", 0);
+  add_row("PUE", "facility/pue", 3);
+  add_row("supply temp [C]", "facility/supply_temp");
+  add_row("return temp [C]", "facility/return_temp");
+  add_row("free cooling", "facility/free_cooling", 0);
+  add_row("outdoor drybulb [C]", "weather/drybulb_temp");
+  add_row("outdoor wetbulb [C]", "weather/wetbulb_temp");
+
+  const PueReport pue = compute_pue(store, from, to);
+  table.add_separator();
+  table.add_row({"interval PUE", format_double(pue.pue, 3),
+                 format_double(pue.facility_energy_kwh, 1) + " kWh total"});
+  return table.render();
+}
+
+std::string system_dashboard(const telemetry::TimeSeriesStore& store,
+                             TimePoint from, TimePoint to) {
+  std::ostringstream out;
+  for (const auto& [label, pattern] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"node power [W]", "rack*/node*/power"},
+           {"CPU temp [C]", "rack*/node*/cpu_temp"},
+           {"CPU util", "rack*/node*/cpu_util"}}) {
+    TextTable table({"rack", "q10", "q25", "median", "q75", "q90", "max"});
+    table.set_title("SYSTEM: " + label);
+    for (std::size_t c = 1; c <= 6; ++c) table.set_align(c, Align::kRight);
+    for (const auto& s : quantile_transport(store, pattern, from, to, 1)) {
+      table.add_row({s.group, format_double(s.q10, 1), format_double(s.q25, 1),
+                     format_double(s.q50, 1), format_double(s.q75, 1),
+                     format_double(s.q90, 1), format_double(s.max, 1)});
+    }
+    out << table.render() << "\n";
+  }
+  return out.str();
+}
+
+std::string scheduler_dashboard(const telemetry::TimeSeriesStore& store,
+                                std::span<const sim::JobRecord> completed,
+                                TimePoint from, TimePoint to) {
+  TextTable table({"metric", "value"});
+  table.set_title("SCHEDULER DASHBOARD");
+  table.add_row({"queue length [trend]",
+                 series_cell(store, "scheduler/queue_length", from, to, 0)});
+  table.add_row({"utilization [trend]",
+                 series_cell(store, "scheduler/utilization", from, to, 2)});
+  table.add_row({"running jobs [trend]",
+                 series_cell(store, "scheduler/running_jobs", from, to, 0)});
+
+  const SlowdownReport sd = compute_slowdown(completed);
+  std::size_t finished = 0, killed = 0, oom = 0;
+  for (const auto& r : completed) {
+    switch (r.outcome) {
+      case sim::JobOutcome::kFinished: ++finished; break;
+      case sim::JobOutcome::kKilledWalltime: ++killed; break;
+      case sim::JobOutcome::kFailedOom: ++oom; break;
+    }
+  }
+  table.add_separator();
+  table.add_row({"completed jobs", std::to_string(completed.size())});
+  table.add_row({"finished / walltime-killed / OOM",
+                 std::to_string(finished) + " / " + std::to_string(killed) +
+                     " / " + std::to_string(oom)});
+  table.add_row({"mean slowdown", format_double(sd.mean_slowdown, 2)});
+  table.add_row({"mean bounded slowdown", format_double(sd.mean_bounded_slowdown, 2)});
+  table.add_row({"median wait", format_duration(static_cast<Duration>(sd.median_wait_s))});
+  table.add_row({"p95 wait", format_duration(static_cast<Duration>(sd.p95_wait_s))});
+  return table.render();
+}
+
+std::string job_dashboard(std::span<const sim::JobRecord> completed,
+                          std::size_t max_rows) {
+  TextTable table({"job", "user", "class", "nodes", "wait", "runtime",
+                   "req walltime", "energy [kWh]", "outcome"});
+  table.set_title("JOB DASHBOARD (most recent jobs)");
+  table.set_align(3, Align::kRight);
+  table.set_align(7, Align::kRight);
+  const std::size_t start =
+      completed.size() > max_rows ? completed.size() - max_rows : 0;
+  for (std::size_t i = start; i < completed.size(); ++i) {
+    const auto& r = completed[i];
+    const char* outcome = r.outcome == sim::JobOutcome::kFinished ? "ok"
+                          : r.outcome == sim::JobOutcome::kKilledWalltime
+                              ? "walltime"
+                              : "oom";
+    table.add_row({std::to_string(r.spec.id), r.spec.user,
+                   sim::job_class_name(r.spec.job_class),
+                   std::to_string(r.spec.nodes_requested),
+                   format_duration(r.wait_time()), format_duration(r.run_time()),
+                   format_duration(r.spec.walltime_requested),
+                   format_double(r.energy_j / units::kJoulesPerKilowattHour, 2),
+                   outcome});
+  }
+  return table.render();
+}
+
+std::string alert_dashboard(const telemetry::AlertEngine& alerts) {
+  TextTable table({"rule", "sensor", "severity", "raised", "value"});
+  table.set_title("ACTIVE ALERTS");
+  for (const auto& a : alerts.active()) {
+    table.add_row({a.rule, a.sensor, telemetry::alert_severity_name(a.severity),
+                   format_time(a.raised_at), format_double(a.value, 2)});
+  }
+  if (table.row_count() == 0) table.add_row({"(none)", "", "", "", ""});
+  return table.render();
+}
+
+}  // namespace oda::analytics

@@ -1,0 +1,40 @@
+// Text dashboards — the visualization endpoints of the descriptive row
+// (ClusterCockpit [5] / NERSC OMNI [7] / Grafana-style [61] views rendered
+// as terminal tables): facility, system, scheduler, and per-job dashboards,
+// plus ASCII sparklines for inline trend display.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/alerts.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::analytics {
+
+/// Renders values as a fixed-height ASCII sparkline (" .:-=+*#%@").
+std::string sparkline(std::span<const double> values, std::size_t width = 40);
+
+/// Facility dashboard: PUE, power breakdown, cooling state, weather.
+std::string facility_dashboard(const telemetry::TimeSeriesStore& store,
+                               TimePoint from, TimePoint to);
+
+/// System-hardware dashboard: per-rack quantile transport of power/temps.
+std::string system_dashboard(const telemetry::TimeSeriesStore& store,
+                             TimePoint from, TimePoint to);
+
+/// Scheduler dashboard: queue/utilization trends + job outcome counts.
+std::string scheduler_dashboard(const telemetry::TimeSeriesStore& store,
+                                std::span<const sim::JobRecord> completed,
+                                TimePoint from, TimePoint to);
+
+/// Per-job dashboard: one row per completed job with runtime/wait/energy.
+std::string job_dashboard(std::span<const sim::JobRecord> completed,
+                          std::size_t max_rows = 20);
+
+/// Active-alert table.
+std::string alert_dashboard(const telemetry::AlertEngine& alerts);
+
+}  // namespace oda::analytics

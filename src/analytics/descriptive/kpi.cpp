@@ -1,0 +1,167 @@
+#include "analytics/descriptive/kpi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "math/entropy.hpp"
+
+namespace oda::analytics {
+
+namespace {
+
+/// Integrates a power sensor (W) over [from, to) by trapezoid-free step
+/// integration (samples are step-held), returning kWh.
+double integrate_kwh(const telemetry::TimeSeriesStore& store,
+                     const std::string& path, TimePoint from, TimePoint to) {
+  const auto slice = store.query(path, from, to);
+  if (slice.empty()) return 0.0;
+  double joules = 0.0;
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    const TimePoint t_next = i + 1 < slice.size() ? slice.times[i + 1] : to;
+    joules += slice.values[i] * static_cast<double>(t_next - slice.times[i]);
+  }
+  return joules / units::kJoulesPerKilowattHour;
+}
+
+}  // namespace
+
+PueReport compute_pue(const telemetry::TimeSeriesStore& store, TimePoint from,
+                      TimePoint to) {
+  PueReport report;
+  report.facility_energy_kwh = integrate_kwh(store, "facility/total_power", from, to);
+  report.it_energy_kwh = integrate_kwh(store, "cluster/it_power", from, to);
+  report.cooling_energy_kwh = integrate_kwh(store, "facility/cooling_power", from, to);
+  report.loss_energy_kwh = integrate_kwh(store, "facility/pdu_loss", from, to);
+  report.pue = report.it_energy_kwh > 0.0
+                   ? report.facility_energy_kwh / report.it_energy_kwh
+                   : 0.0;
+  return report;
+}
+
+ItueReport compute_itue(const telemetry::TimeSeriesStore& store, TimePoint from,
+                        TimePoint to, double fan_max_power_w,
+                        double psu_overhead_fraction) {
+  ItueReport report;
+  report.it_energy_kwh = integrate_kwh(store, "cluster/it_power", from, to);
+
+  // Fan energy: cubic law applied to each node's fan_speed series.
+  double fan_kwh = 0.0;
+  for (const auto& path : store.match("rack*/node*/fan_speed")) {
+    const auto slice = store.query(path, from, to);
+    double joules = 0.0;
+    for (std::size_t i = 0; i < slice.size(); ++i) {
+      const TimePoint t_next = i + 1 < slice.size() ? slice.times[i + 1] : to;
+      const double s = slice.values[i];
+      joules += fan_max_power_w * s * s * s * static_cast<double>(t_next - slice.times[i]);
+    }
+    fan_kwh += joules / units::kJoulesPerKilowattHour;
+  }
+  report.fan_energy_kwh = fan_kwh;
+
+  const double overhead_kwh =
+      fan_kwh + psu_overhead_fraction * report.it_energy_kwh;
+  const double useful = report.it_energy_kwh - overhead_kwh;
+  report.itue = useful > 0.0 ? report.it_energy_kwh / useful : 1.0;
+
+  const PueReport pue = compute_pue(store, from, to);
+  report.tue = report.itue * (pue.pue > 0.0 ? pue.pue : 1.0);
+  return report;
+}
+
+double compute_ere(const PueReport& pue, double reuse_fraction) {
+  ODA_REQUIRE(reuse_fraction >= 0.0 && reuse_fraction <= 1.0,
+              "reuse fraction must be in [0,1]");
+  if (pue.it_energy_kwh <= 0.0) return 0.0;
+  const double reused = reuse_fraction * pue.it_energy_kwh;
+  return (pue.facility_energy_kwh - reused) / pue.it_energy_kwh;
+}
+
+SlowdownReport compute_slowdown(std::span<const sim::JobRecord> records,
+                                Duration tau) {
+  SlowdownReport report;
+  if (records.empty()) return report;
+  std::vector<double> waits;
+  double slowdown_sum = 0.0, bounded_sum = 0.0;
+  for (const auto& r : records) {
+    const double wait = static_cast<double>(r.wait_time());
+    const double run = std::max<double>(1.0, static_cast<double>(r.run_time()));
+    waits.push_back(wait);
+    slowdown_sum += (wait + run) / run;
+    bounded_sum += std::max(1.0, (wait + run) /
+                                     std::max(run, static_cast<double>(tau)));
+  }
+  report.jobs = records.size();
+  report.mean_slowdown = slowdown_sum / static_cast<double>(records.size());
+  report.mean_bounded_slowdown = bounded_sum / static_cast<double>(records.size());
+  report.mean_wait_s = mean(waits);
+  report.median_wait_s = median(waits);
+  report.p95_wait_s = quantile(waits, 0.95);
+  return report;
+}
+
+double compute_utilization(const telemetry::TimeSeriesStore& store,
+                           TimePoint from, TimePoint to) {
+  const auto slice = store.query("scheduler/utilization", from, to);
+  return slice.empty() ? 0.0 : mean(slice.values);
+}
+
+SieReport compute_sie(const telemetry::TimeSeriesStore& store,
+                      const std::vector<std::string>& sensors, TimePoint from,
+                      TimePoint to, Duration bucket, std::size_t levels) {
+  ODA_REQUIRE(levels >= 2, "SIE needs at least two levels");
+  SieReport report;
+  const auto frame = store.frame(sensors, from, to, bucket);
+  if (frame.rows() < 2) return report;
+
+  // Per-column min/max for level quantization.
+  std::vector<double> lo(frame.cols(), std::numeric_limits<double>::infinity());
+  std::vector<double> hi(frame.cols(), -std::numeric_limits<double>::infinity());
+  for (const auto& row : frame.values) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (std::isnan(row[c])) continue;
+      lo[c] = std::min(lo[c], row[c]);
+      hi[c] = std::max(hi[c], row[c]);
+    }
+  }
+
+  math::TransitionEntropy te;
+  std::set<std::string> states;
+  for (const auto& row : frame.values) {
+    std::string symbol;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::size_t level = 0;
+      if (!std::isnan(row[c]) && hi[c] > lo[c]) {
+        level = static_cast<std::size_t>((row[c] - lo[c]) / (hi[c] - lo[c]) *
+                                         static_cast<double>(levels));
+        level = std::min(level, levels - 1);
+      }
+      symbol += static_cast<char>('a' + level);
+    }
+    states.insert(symbol);
+    te.observe(symbol);
+  }
+  report.entropy_bits = te.entropy();
+  report.distinct_states = states.size();
+  report.transitions = te.transition_count();
+  return report;
+}
+
+RooflinePoint roofline(double peak_gflops, double peak_bw_gbs,
+                       double achieved_gflops, double bytes_per_flop) {
+  ODA_REQUIRE(peak_gflops > 0.0 && peak_bw_gbs > 0.0, "roofline ceilings must be positive");
+  ODA_REQUIRE(bytes_per_flop > 0.0, "bytes_per_flop must be positive");
+  RooflinePoint p;
+  p.arithmetic_intensity = 1.0 / bytes_per_flop;
+  p.attainable_gflops =
+      std::min(peak_gflops, p.arithmetic_intensity * peak_bw_gbs);
+  p.achieved_gflops = achieved_gflops;
+  p.memory_bound = p.arithmetic_intensity * peak_bw_gbs < peak_gflops;
+  p.efficiency = p.attainable_gflops > 0.0 ? achieved_gflops / p.attainable_gflops : 0.0;
+  return p;
+}
+
+}  // namespace oda::analytics

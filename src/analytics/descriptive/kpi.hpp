@@ -1,0 +1,96 @@
+// Descriptive-pillar KPI calculators (Table I, descriptive row):
+//   * PUE  — Power Usage Effectiveness [4]
+//   * ITUE/TUE — IT-internal overhead efficiency [59]
+//   * ERE  — Energy Reuse Effectiveness
+//   * job slowdown / bounded slowdown [60]
+//   * utilization and queue statistics
+//   * SIE — System Information Entropy over state transitions [14]
+//   * roofline operating point [63]
+// Everything is computed from the telemetry store and scheduler records —
+// the same interfaces a production deployment would expose.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::analytics {
+
+/// Interval KPI computed by integrating power sensors over [from, to).
+struct PueReport {
+  double pue = 0.0;               // facility energy / IT energy
+  double facility_energy_kwh = 0.0;
+  double it_energy_kwh = 0.0;
+  double cooling_energy_kwh = 0.0;
+  double loss_energy_kwh = 0.0;   // PDU/UPS conversion losses
+};
+
+/// PUE over an interval from the standard facility sensors
+/// ("facility/total_power", "cluster/it_power", "facility/cooling_power",
+/// "facility/pdu_loss").
+PueReport compute_pue(const telemetry::TimeSeriesStore& store, TimePoint from,
+                      TimePoint to);
+
+/// ITUE = total IT energy / "useful" IT energy (total minus node fans and
+/// estimated PSU overhead). fan_power_per_node_w(speed) converts the
+/// "*/fan_speed" sensors to watts; defaults to the simulator's cubic law.
+struct ItueReport {
+  double itue = 1.0;
+  double tue = 1.0;  // TUE = ITUE * PUE
+  double fan_energy_kwh = 0.0;
+  double it_energy_kwh = 0.0;
+};
+ItueReport compute_itue(const telemetry::TimeSeriesStore& store, TimePoint from,
+                        TimePoint to, double fan_max_power_w = 30.0,
+                        double psu_overhead_fraction = 0.05);
+
+/// ERE = (facility energy - reused energy) / IT energy. Reuse fraction is a
+/// parameter (our simulated site reuses return-loop heat for offices).
+double compute_ere(const PueReport& pue, double reuse_fraction);
+
+/// Scheduler quality-of-service metrics from completed jobs [60].
+struct SlowdownReport {
+  double mean_slowdown = 0.0;
+  double mean_bounded_slowdown = 0.0;  // runtime floor tau
+  double median_wait_s = 0.0;
+  double p95_wait_s = 0.0;
+  double mean_wait_s = 0.0;
+  std::size_t jobs = 0;
+};
+SlowdownReport compute_slowdown(std::span<const sim::JobRecord> records,
+                                Duration tau = 10 * kMinute);
+
+/// Node utilization over an interval: mean of "scheduler/utilization".
+double compute_utilization(const telemetry::TimeSeriesStore& store,
+                           TimePoint from, TimePoint to);
+
+/// System Information Entropy: discretizes a set of sensors into state
+/// symbols per time bucket and measures transition entropy [14]. Low entropy
+/// = a system settled into regular behaviour; spikes indicate regime change.
+struct SieReport {
+  double entropy_bits = 0.0;
+  std::size_t distinct_states = 0;
+  std::size_t transitions = 0;
+};
+SieReport compute_sie(const telemetry::TimeSeriesStore& store,
+                      const std::vector<std::string>& sensors, TimePoint from,
+                      TimePoint to, Duration bucket, std::size_t levels = 4);
+
+/// Roofline operating point [63]: where a measured kernel sits against a
+/// machine's compute and bandwidth ceilings.
+struct RooflinePoint {
+  double arithmetic_intensity = 0.0;  // flop/byte
+  double attainable_gflops = 0.0;     // min(peak, AI * bw)
+  double achieved_gflops = 0.0;
+  bool memory_bound = false;
+  double efficiency = 0.0;  // achieved / attainable
+};
+RooflinePoint roofline(double peak_gflops, double peak_bw_gbs,
+                       double achieved_gflops, double bytes_per_flop);
+
+}  // namespace oda::analytics

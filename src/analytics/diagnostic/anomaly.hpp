@@ -1,0 +1,221 @@
+// Diagnostic-pillar anomaly detection (Table I, diagnostic row).
+//
+// Streaming detectors score a single sensor sample-by-sample; multivariate
+// detectors (isolation forest, PCA reconstruction) score feature vectors
+// built from sliding windows over many sensors — the setup of Tuncer et
+// al. [16] and Borghesi et al. [17]. A NodeAnomalyMonitor sweeps every node
+// and produces per-node verdicts, and the evaluation helpers score any
+// detector against injected-fault ground truth.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "math/isolation_forest.hpp"
+#include "math/pca.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::analytics {
+
+/// Streaming univariate detector: feed samples, read back an anomaly score
+/// (0 = normal; >= 1 = at the detection threshold).
+class StreamingDetector {
+ public:
+  virtual ~StreamingDetector() = default;
+  virtual void observe(double value) = 0;
+  virtual double score() const = 0;
+  virtual const char* name() const = 0;
+  bool anomalous() const { return score() >= 1.0; }
+};
+
+/// |z| of the newest sample against a trailing window, normalized by the
+/// detection threshold (z_threshold).
+class ZScoreDetector : public StreamingDetector {
+ public:
+  ZScoreDetector(std::size_t window, double z_threshold = 4.0);
+  void observe(double value) override;
+  double score() const override { return score_; }
+  const char* name() const override { return "zscore"; }
+
+ private:
+  RollingWindow window_;
+  double z_threshold_;
+  double score_ = 0.0;
+};
+
+/// Robust variant: median/MAD instead of mean/stddev; immune to the
+/// contamination of the window by the anomaly itself.
+class MadDetector : public StreamingDetector {
+ public:
+  MadDetector(std::size_t window, double threshold = 5.0);
+  void observe(double value) override;
+  double score() const override { return score_; }
+  const char* name() const override { return "mad"; }
+
+ private:
+  RollingWindow window_;
+  double threshold_;
+  double score_ = 0.0;
+};
+
+/// EWMA control chart: deviation of the EWMA from a long-run baseline in
+/// units of the EWMA control limit.
+class EwmaDetector : public StreamingDetector {
+ public:
+  explicit EwmaDetector(double alpha = 0.1, double limit_sigma = 4.0);
+  void observe(double value) override;
+  double score() const override { return score_; }
+  const char* name() const override { return "ewma"; }
+
+ private:
+  Ewma fast_;
+  RunningStats baseline_;
+  double limit_sigma_;
+  double score_ = 0.0;
+};
+
+/// Stuck-at detector: scores how long the signal has been exactly constant
+/// relative to the expected variability.
+class StuckSensorDetector : public StreamingDetector {
+ public:
+  explicit StuckSensorDetector(std::size_t max_constant_run = 20);
+  void observe(double value) override;
+  double score() const override { return score_; }
+  const char* name() const override { return "stuck"; }
+
+ private:
+  std::size_t max_run_;
+  std::size_t run_ = 0;
+  double last_ = 0.0;
+  bool has_last_ = false;
+  double score_ = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Multivariate window-feature detectors.
+// ---------------------------------------------------------------------------
+
+/// Feature vector for one node over one window: per-sensor mean, std, and
+/// robust slope — the statistical fingerprint the classifiers consume.
+std::vector<double> window_features(const telemetry::Frame& frame);
+
+struct AnomalyVerdict {
+  std::string subject;  // e.g. node path
+  double score = 0.0;   // detector-specific; >= threshold means anomalous
+  bool anomalous = false;
+  /// Ensemble member attribution (each normalized so >= 1 fires): density
+  /// outliers show in the forest, correlation violations in the PCA
+  /// residual. Zero when the monitor has a single member.
+  double forest_score = 0.0;
+  double pca_score = 0.0;
+};
+
+/// Node anomaly monitor: an ensemble of an isolation forest (density
+/// outliers) and PCA reconstruction error (correlation violations, e.g.
+/// "temperature high while fan speed low") over per-node window features.
+///
+/// Features are *rack-relative* (each sensor bucket minus the concurrent
+/// median of the node's rack peers — the correlation-wise-smoothing idea of
+/// Netti et al. [47]): rack-common modes such as inlet-temperature shifts
+/// cancel out, so one faulty node does not drag its whole rack over the
+/// alarm threshold. Rack-wide anomalies are the root-cause analyzer's job,
+/// not this monitor's.
+///
+/// Both member scores are calibrated on the healthy training windows; the
+/// reported score is the ensemble max, normalized so >= 1 means anomalous.
+class NodeAnomalyMonitor {
+ public:
+  struct Params {
+    std::vector<std::string> per_node_sensors = {
+        "power", "cpu_temp", "cpu_util", "fan_speed", "mem_bw_util"};
+    Duration window = 10 * kMinute;
+    Duration bucket = kMinute;
+    /// Margin over the calibrated healthy quantile before alarming.
+    double calibration_margin = 1.15;
+    double calibration_quantile = 0.99;
+    std::size_t trees = 100;
+    double pca_variance_target = 0.9;
+  };
+
+  NodeAnomalyMonitor(Params params, std::vector<std::string> node_prefixes);
+
+  /// Learns the healthy baseline from [from, to): one training sample per
+  /// node per window.
+  void train(const telemetry::TimeSeriesStore& store, TimePoint from,
+             TimePoint to, Rng& rng);
+  bool trained() const { return forest_ != nullptr; }
+
+  /// Scores every node over the window ending at `now`.
+  std::vector<AnomalyVerdict> scan(const telemetry::TimeSeriesStore& store,
+                                   TimePoint now) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  /// Rack-relative window features for every monitored node at once.
+  std::vector<std::vector<double>> batch_features(
+      const telemetry::TimeSeriesStore& store, TimePoint from,
+      TimePoint to) const;
+  std::vector<double> standardize(std::vector<double> features) const;
+
+  Params params_;
+  std::vector<std::string> node_prefixes_;
+  std::unique_ptr<math::IsolationForest> forest_;
+  std::unique_ptr<math::Pca> pca_;
+  // Healthy-calibrated normalizers: member score / threshold.
+  double forest_threshold_ = 1.0;
+  double pca_threshold_ = 1.0;
+  // Per-feature standardization fitted on healthy training windows.
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_std_;
+};
+
+/// PCA reconstruction-error detector (autoencoder-lite, Borghesi-style [17]).
+class PcaAnomalyDetector {
+ public:
+  /// Fits on healthy feature vectors keeping enough components for
+  /// `variance_target` of the variance.
+  void train(const std::vector<std::vector<double>>& healthy,
+             double variance_target = 0.95);
+  bool trained() const { return pca_ != nullptr; }
+
+  /// Reconstruction error normalized by the healthy p99 error
+  /// (>= 1 = anomalous).
+  double score(std::span<const double> features) const;
+
+ private:
+  std::unique_ptr<math::Pca> pca_;
+  double error_p99_ = 1.0;
+};
+
+// ---------------------------------------------------------------------------
+// Evaluation against ground truth.
+// ---------------------------------------------------------------------------
+
+struct DetectionMetrics {
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  std::size_t false_negatives = 0;
+  std::size_t true_negatives = 0;
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+  double accuracy() const;
+};
+
+/// Scores point predictions against boolean ground truth. (std::vector<bool>
+/// because the bit-packed specialization cannot be viewed as a span.)
+DetectionMetrics score_detection(const std::vector<bool>& predicted,
+                                 const std::vector<bool>& truth);
+
+/// Area under the ROC curve for continuous scores vs boolean truth.
+double roc_auc(std::span<const double> scores, const std::vector<bool>& truth);
+
+}  // namespace oda::analytics

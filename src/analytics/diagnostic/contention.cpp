@@ -1,0 +1,76 @@
+#include "analytics/diagnostic/contention.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace oda::analytics {
+
+ContentionReport diagnose_contention(
+    const telemetry::TimeSeriesStore& store,
+    const std::vector<sim::RunningJob>& running,
+    const std::vector<std::string>& node_prefixes, TimePoint now,
+    const ContentionParams& params) {
+  ContentionReport report;
+  const TimePoint from = now - params.window;
+
+  // 1. Find saturated uplinks from telemetry.
+  std::vector<std::size_t> hot_racks;
+  for (const auto& path : store.match("network/rack*/uplink_util")) {
+    const auto slice = store.query(path, from, now);
+    if (slice.empty()) continue;
+    const double util = mean(slice.values);
+    if (util >= params.hot_threshold) {
+      std::size_t rack = 0;
+      std::sscanf(path.c_str(), "network/rack%zu/", &rack);
+      report.hot_links.push_back({rack, util});
+      hot_racks.push_back(rack);
+    }
+  }
+  if (hot_racks.empty()) return report;
+
+  // 2. Attribute offered load per job per hot rack from node telemetry.
+  for (const auto& rack : hot_racks) {
+    std::vector<ContentionReport::JobRole> roles;
+    for (const auto& job : running) {
+      // Count the job's nodes in/outside this rack.
+      std::size_t in_rack = 0;
+      double net_util_sum = 0.0;
+      for (std::size_t n : job.nodes) {
+        const std::size_t node_rack = n / params.nodes_per_rack;
+        if (node_rack != rack) continue;
+        ++in_rack;
+        ODA_REQUIRE(n < node_prefixes.size(), "node index out of range");
+        const auto slice =
+            store.query(node_prefixes[n] + "/net_util", from, now);
+        if (!slice.empty()) net_util_sum += mean(slice.values);
+      }
+      if (in_rack == 0 || job.nodes.size() == in_rack) continue;  // not crossing
+      const double remote_fraction =
+          static_cast<double>(job.nodes.size() - in_rack) /
+          std::max<double>(static_cast<double>(job.nodes.size()) - 1.0, 1.0);
+      ContentionReport::JobRole role;
+      role.job_id = job.spec.id;
+      role.user = job.spec.user;
+      role.hot_rack = rack;
+      role.offered_gbps =
+          net_util_sum * params.nic_capacity_gbps * remote_fraction;
+      roles.push_back(std::move(role));
+    }
+    if (roles.empty()) continue;
+    // The top contributor is the aggressor; everyone crossing is involved.
+    auto top = std::max_element(roles.begin(), roles.end(),
+                                [](const auto& a, const auto& b) {
+                                  return a.offered_gbps < b.offered_gbps;
+                                });
+    top->aggressor = true;
+    report.involved_jobs.insert(report.involved_jobs.end(), roles.begin(),
+                                roles.end());
+  }
+  return report;
+}
+
+}  // namespace oda::analytics

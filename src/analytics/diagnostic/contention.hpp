@@ -1,0 +1,51 @@
+// Network-contention diagnosis (Grant et al. [19], Jha et al. [55]): from
+// per-rack uplink counters and the placement of running jobs, identify which
+// links are saturated, which jobs are the likely aggressors (largest
+// offered load on the hot link) and which are victims (cross-rack jobs
+// traversing it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::analytics {
+
+struct ContentionReport {
+  struct HotLink {
+    std::size_t rack = 0;
+    double utilization = 0.0;  // mean over the analysis window
+  };
+  struct JobRole {
+    std::uint64_t job_id = 0;
+    std::string user;
+    std::size_t hot_rack = 0;
+    double offered_gbps = 0.0;  // estimated uplink demand
+    bool aggressor = false;     // top contributor on the hot link
+  };
+
+  std::vector<HotLink> hot_links;
+  std::vector<JobRole> involved_jobs;
+  bool contention_detected() const { return !hot_links.empty(); }
+};
+
+struct ContentionParams {
+  double hot_threshold = 0.95;  // mean uplink utilization marking saturation
+  Duration window = 5 * kMinute;
+  double nic_capacity_gbps = 100.0;
+  std::size_t nodes_per_rack = 16;
+};
+
+/// Analyzes the window ending at `now`. Running-job placement and per-node
+/// net_util telemetry provide the offered-load estimates.
+ContentionReport diagnose_contention(
+    const telemetry::TimeSeriesStore& store,
+    const std::vector<sim::RunningJob>& running,
+    const std::vector<std::string>& node_prefixes, TimePoint now,
+    const ContentionParams& params);
+
+}  // namespace oda::analytics

@@ -1,0 +1,155 @@
+#include "analytics/diagnostic/fingerprint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "math/distance.hpp"
+
+namespace oda::analytics {
+
+std::vector<double> crisis_signature(const telemetry::TimeSeriesStore& store,
+                                     const std::vector<std::string>& metrics,
+                                     TimePoint from, TimePoint to) {
+  std::vector<double> signature;
+  signature.reserve(metrics.size() * 3);
+  for (const auto& path : metrics) {
+    const auto slice = store.query(path, from, to);
+    if (slice.empty()) {
+      signature.insert(signature.end(), {0.0, 0.0, 0.0});
+      continue;
+    }
+    signature.push_back(quantile(slice.values, 0.5));
+    signature.push_back(quantile(slice.values, 0.95));
+    signature.push_back(stddev(slice.values));
+  }
+  return signature;
+}
+
+void CrisisFingerprinter::add_incident(const std::string& label,
+                                       std::vector<double> signature) {
+  ODA_REQUIRE(!signature.empty(), "empty crisis signature");
+  if (!signatures_.empty()) {
+    ODA_REQUIRE(signature.size() == signatures_[0].size(),
+                "signature dimension mismatch");
+  }
+  signatures_.push_back(std::move(signature));
+  labels_.push_back(label);
+}
+
+CrisisFingerprinter::Match CrisisFingerprinter::identify(
+    const std::vector<double>& signature, double radius_factor) const {
+  ODA_REQUIRE(!signatures_.empty(), "no known incidents");
+  Match match;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < signatures_.size(); ++i) {
+    const double d = math::euclidean_distance(signature, signatures_[i]);
+    if (d < best) {
+      best = d;
+      match.label = labels_[i];
+    }
+  }
+  match.distance = best;
+
+  // Match radius: median pairwise distance among known incidents of the
+  // winning class (or overall when the class has a single exemplar).
+  std::vector<double> intra;
+  for (std::size_t i = 0; i < signatures_.size(); ++i) {
+    for (std::size_t j = i + 1; j < signatures_.size(); ++j) {
+      if (labels_[i] == match.label && labels_[j] == match.label) {
+        intra.push_back(math::euclidean_distance(signatures_[i], signatures_[j]));
+      }
+    }
+  }
+  if (intra.empty()) {
+    for (std::size_t i = 0; i < signatures_.size(); ++i) {
+      for (std::size_t j = i + 1; j < signatures_.size(); ++j) {
+        intra.push_back(math::euclidean_distance(signatures_[i], signatures_[j]));
+      }
+    }
+  }
+  const double radius = intra.empty() ? best : median(intra);
+  match.known = best <= radius_factor * std::max(radius, 1e-9);
+  return match;
+}
+
+std::vector<double> job_signature(const telemetry::TimeSeriesStore& store,
+                                  const sim::JobRecord& record,
+                                  const std::vector<std::string>& node_prefixes,
+                                  Duration bucket) {
+  // Pool each counter across the job's nodes, then summarize. The signature
+  // is size-independent so jobs of different node counts are comparable.
+  static const char* kLeaves[] = {"cpu_util", "mem_bw_util", "net_util",
+                                  "io_util", "power"};
+  std::vector<double> signature;
+  for (const char* leaf : kLeaves) {
+    std::vector<double> pooled;
+    for (std::size_t n : record.nodes) {
+      ODA_REQUIRE(n < node_prefixes.size(), "node index out of range");
+      const auto slice =
+          store.query_aggregated(node_prefixes[n] + "/" + leaf,
+                                 record.start_time, record.end_time, bucket,
+                                 telemetry::Aggregation::kMean);
+      pooled.insert(pooled.end(), slice.values.begin(), slice.values.end());
+    }
+    if (pooled.empty()) {
+      signature.insert(signature.end(), {0.0, 0.0, 0.0, 0.0});
+      continue;
+    }
+    signature.push_back(mean(pooled));
+    signature.push_back(stddev(pooled));
+    signature.push_back(quantile(pooled, 0.95));
+    // Phase-structure indicator: lag-1 autocorrelation of the pooled trace.
+    signature.push_back(autocorrelation(pooled, 1));
+  }
+  return signature;
+}
+
+ApplicationFingerprinter::ApplicationFingerprinter(Params params)
+    : params_(params) {}
+
+void ApplicationFingerprinter::add_training(const std::string& label,
+                                            std::vector<double> signature) {
+  knn_.add(signature, label);
+  auto [it, inserted] = label_index_.emplace(label, index_label_.size());
+  if (inserted) index_label_.push_back(label);
+  samples_.push_back({std::move(signature), it->second});
+}
+
+void ApplicationFingerprinter::train(Rng& rng) {
+  ODA_REQUIRE(label_index_.size() >= 2, "need at least two labels to train");
+  math::RandomForest::Params fp;
+  fp.n_trees = params_.forest_trees;
+  forest_ = math::RandomForest::fit(samples_, label_index_.size(), fp, rng);
+}
+
+ApplicationFingerprinter::Prediction ApplicationFingerprinter::predict_knn(
+    const std::vector<double>& signature) const {
+  ODA_REQUIRE(knn_.size() > 0, "no training data");
+  Prediction p;
+  p.label = knn_.predict(signature, params_.knn_k);
+  p.confidence = knn_.confidence(signature, params_.knn_k);
+  return p;
+}
+
+ApplicationFingerprinter::Prediction ApplicationFingerprinter::predict_forest(
+    const std::vector<double>& signature) const {
+  ODA_REQUIRE(forest_.has_value(), "forest not trained");
+  const auto probs = forest_->predict_proba(signature);
+  Prediction p;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < probs.size(); ++i) {
+    if (probs[i] > probs[best]) best = i;
+  }
+  p.label = index_label_[best];
+  p.confidence = probs[best];
+  return p;
+}
+
+std::vector<std::string> ApplicationFingerprinter::labels() const {
+  return index_label_;
+}
+
+}  // namespace oda::analytics

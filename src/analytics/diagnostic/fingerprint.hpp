@@ -1,0 +1,100 @@
+// Fingerprinting diagnostics:
+//  * datacenter crisis fingerprinting (Bodik et al. [38]) — summarize the
+//    whole facility's state into a signature vector, cluster known crises,
+//    and match new incidents to the nearest known class;
+//  * application fingerprinting (Taxonomist [33], DeMasi et al. [36]) —
+//    classify a job from the statistical signature of its node telemetry,
+//    in particular flagging crypto-miners.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "math/decision_tree.hpp"
+#include "math/kmeans.hpp"
+#include "math/knn.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::analytics {
+
+// ---------------------------------------------------------------------------
+// Datacenter crisis fingerprinting.
+// ---------------------------------------------------------------------------
+
+/// Facility-state signature: quantiles of each metric over an interval.
+std::vector<double> crisis_signature(const telemetry::TimeSeriesStore& store,
+                                     const std::vector<std::string>& metrics,
+                                     TimePoint from, TimePoint to);
+
+class CrisisFingerprinter {
+ public:
+  /// Registers a labeled incident signature.
+  void add_incident(const std::string& label, std::vector<double> signature);
+  std::size_t incident_count() const { return labels_.size(); }
+
+  struct Match {
+    std::string label;
+    double distance = 0.0;
+    bool known = false;  // within the match radius of a known incident
+  };
+  /// Nearest known incident; `known` is false when the distance exceeds
+  /// radius_factor times the median intra-class distance.
+  Match identify(const std::vector<double>& signature,
+                 double radius_factor = 3.0) const;
+
+ private:
+  std::vector<std::vector<double>> signatures_;
+  std::vector<std::string> labels_;
+};
+
+// ---------------------------------------------------------------------------
+// Application fingerprinting.
+// ---------------------------------------------------------------------------
+
+/// Extracts the telemetry signature of a completed job: statistics of its
+/// nodes' cpu/mem/net/io counters over the job's runtime.
+std::vector<double> job_signature(const telemetry::TimeSeriesStore& store,
+                                  const sim::JobRecord& record,
+                                  const std::vector<std::string>& node_prefixes,
+                                  Duration bucket = kMinute);
+
+class ApplicationFingerprinter {
+ public:
+  struct Params {
+    std::size_t knn_k = 5;
+    std::size_t forest_trees = 40;
+  };
+  ApplicationFingerprinter() : ApplicationFingerprinter(Params{}) {}
+  explicit ApplicationFingerprinter(Params params);
+
+  /// Adds a labeled training job (label = application/class name).
+  void add_training(const std::string& label, std::vector<double> signature);
+  /// Trains the random-forest backend (kNN needs no training).
+  void train(Rng& rng);
+
+  struct Prediction {
+    std::string label;
+    double confidence = 0.0;
+  };
+  /// kNN prediction (available immediately).
+  Prediction predict_knn(const std::vector<double>& signature) const;
+  /// Random-forest prediction (after train()).
+  Prediction predict_forest(const std::vector<double>& signature) const;
+
+  std::vector<std::string> labels() const;
+
+ private:
+  Params params_;
+  math::KnnClassifier knn_;
+  std::vector<math::LabeledSample> samples_;
+  std::map<std::string, std::size_t> label_index_;
+  std::vector<std::string> index_label_;
+  std::optional<math::RandomForest> forest_;
+};
+
+}  // namespace oda::analytics

@@ -1,0 +1,140 @@
+#include "analytics/diagnostic/rootcause.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "sim/cluster.hpp"
+
+namespace oda::analytics {
+
+void DependencyGraph::add(const std::string& name, const std::string& parent) {
+  ODA_REQUIRE(!name.empty(), "component needs a name");
+  ODA_REQUIRE(nodes_.count(name) == 0, "duplicate component: " + name);
+  if (!parent.empty()) {
+    ODA_REQUIRE(nodes_.count(parent) != 0, "unknown parent: " + parent);
+    nodes_[parent].children.push_back(name);
+  }
+  nodes_[name] = ComponentNode{name, parent, {}};
+  order_.push_back(name);
+}
+
+bool DependencyGraph::contains(const std::string& name) const {
+  return nodes_.count(name) != 0;
+}
+
+std::vector<std::string> DependencyGraph::children_of(
+    const std::string& name) const {
+  const auto it = nodes_.find(name);
+  ODA_REQUIRE(it != nodes_.end(), "unknown component: " + name);
+  return it->second.children;
+}
+
+std::vector<std::string> DependencyGraph::descendants_of(
+    const std::string& name) const {
+  std::vector<std::string> out;
+  std::vector<std::string> stack = children_of(name);
+  while (!stack.empty()) {
+    std::string current = stack.back();
+    stack.pop_back();
+    for (const auto& child : children_of(current)) stack.push_back(child);
+    out.push_back(std::move(current));
+  }
+  return out;
+}
+
+DependencyGraph DependencyGraph::standard_cluster(std::size_t racks,
+                                                  std::size_t nodes_per_rack) {
+  DependencyGraph g;
+  g.add("facility", "");
+  g.add("facility/cooling", "facility");
+  g.add("facility/power", "facility");
+  g.add("facility/cooling/pump", "facility/cooling");
+  g.add("facility/cooling/chiller", "facility/cooling");
+  for (std::size_t r = 0; r < racks; ++r) {
+    char rack[32];
+    std::snprintf(rack, sizeof(rack), "rack%02zu", r);
+    g.add(rack, "facility/cooling");
+    for (std::size_t n = 0; n < nodes_per_rack; ++n) {
+      g.add(sim::node_path(r, n), rack);
+    }
+  }
+  return g;
+}
+
+std::vector<RootCauseCandidate> DependencyGraph::diagnose(
+    const std::vector<std::string>& symptomatic, double blame_fraction) const {
+  const std::set<std::string> symptoms(symptomatic.begin(), symptomatic.end());
+  if (symptoms.empty()) return {};
+
+  // Primary candidate: the deepest component whose subtree (itself plus
+  // descendants) covers *every* symptom — the minimum covering ancestor. A
+  // parent covering all symptoms explains them better than any one child:
+  // eight hot nodes across two racks point at the shared cooling loop, not
+  // at either rack.
+  std::string primary;
+  std::size_t primary_subtree = SIZE_MAX;
+  std::vector<RootCauseCandidate> secondary;
+
+  for (const auto& name : order_) {
+    const auto desc = descendants_of(name);
+    std::set<std::string> subtree(desc.begin(), desc.end());
+    subtree.insert(name);
+
+    std::size_t covered = 0;
+    for (const auto& s : symptoms) covered += subtree.count(s);
+
+    if (covered == symptoms.size() && subtree.size() < primary_subtree) {
+      primary = name;
+      primary_subtree = subtree.size();
+    }
+
+    // Secondary candidates: components most of whose subtree is
+    // symptomatic (localized blame even without full coverage).
+    RootCauseCandidate c;
+    c.component = name;
+    c.total_descendants = std::max<std::size_t>(desc.size(), 1);
+    for (const auto& d : desc) {
+      if (symptoms.count(d)) ++c.symptomatic_descendants;
+    }
+    if (desc.empty() && symptoms.count(name)) c.symptomatic_descendants = 1;
+    const double fraction = static_cast<double>(c.symptomatic_descendants) /
+                            static_cast<double>(c.total_descendants);
+    if (fraction >= blame_fraction && c.symptomatic_descendants >= 1) {
+      c.confidence = fraction;
+      c.explanation = std::to_string(c.symptomatic_descendants) + "/" +
+                      std::to_string(c.total_descendants) +
+                      " of subtree symptomatic";
+      secondary.push_back(std::move(c));
+    }
+  }
+
+  std::sort(secondary.begin(), secondary.end(),
+            [](const RootCauseCandidate& a, const RootCauseCandidate& b) {
+              if (a.confidence != b.confidence) return a.confidence > b.confidence;
+              return a.symptomatic_descendants > b.symptomatic_descendants;
+            });
+
+  std::vector<RootCauseCandidate> out;
+  if (!primary.empty()) {
+    RootCauseCandidate c;
+    c.component = primary;
+    const auto desc = descendants_of(primary);
+    c.total_descendants = std::max<std::size_t>(desc.size(), 1);
+    for (const auto& d : desc) {
+      if (symptoms.count(d)) ++c.symptomatic_descendants;
+    }
+    if (desc.empty()) c.symptomatic_descendants = 1;
+    c.confidence = static_cast<double>(c.symptomatic_descendants) /
+                   static_cast<double>(c.total_descendants);
+    c.explanation = "deepest component covering all " +
+                    std::to_string(symptoms.size()) + " symptoms";
+    out.push_back(std::move(c));
+  }
+  for (auto& c : secondary) {
+    if (c.component != primary) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace oda::analytics

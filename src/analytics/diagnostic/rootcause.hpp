@@ -1,0 +1,57 @@
+// Root-cause analysis (AutoDiagn-style [9]): a dependency graph over
+// infrastructure components plus symptom propagation logic. Given the set of
+// currently anomalous sensors, RCA ranks candidate culprits: a component
+// whose *children* are broadly symptomatic is more likely the cause than any
+// single child (a hot loop explains many hot nodes; one hot node does not).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace oda::analytics {
+
+struct ComponentNode {
+  std::string name;          // e.g. "facility/cooling_loop", "rack00/node03"
+  std::string parent;        // empty for the root
+  std::vector<std::string> children;
+};
+
+struct RootCauseCandidate {
+  std::string component;
+  double confidence = 0.0;   // [0,1]
+  std::size_t symptomatic_descendants = 0;
+  std::size_t total_descendants = 0;
+  std::string explanation;
+};
+
+class DependencyGraph {
+ public:
+  /// Adds a component under `parent` ("" = root level).
+  void add(const std::string& name, const std::string& parent);
+  bool contains(const std::string& name) const;
+  std::vector<std::string> children_of(const std::string& name) const;
+  /// All descendants (children, grandchildren, ...).
+  std::vector<std::string> descendants_of(const std::string& name) const;
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Builds the standard topology for our simulated cluster:
+  /// facility -> cooling loop -> racks -> nodes, facility -> power path.
+  static DependencyGraph standard_cluster(std::size_t racks,
+                                          std::size_t nodes_per_rack);
+
+  /// Ranks root-cause candidates given the symptomatic leaf components.
+  /// A component is blamed when a large fraction of its descendants are
+  /// symptomatic and the symptom set is not explained by a deeper component.
+  std::vector<RootCauseCandidate> diagnose(
+      const std::vector<std::string>& symptomatic,
+      double blame_fraction = 0.6) const;
+
+ private:
+  std::map<std::string, ComponentNode> nodes_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace oda::analytics

@@ -1,0 +1,48 @@
+// Active infrastructure stress testing (Bortot et al. [39], Table I
+// diagnostic/building-infrastructure): instead of waiting for anomalies to
+// show in passive telemetry, periodically *perturb* the plant and measure
+// its response. Here: step the supply-water setpoint and fit the loop's
+// first-order response time constant. A degraded pump slows the loop, so a
+// time constant well above the healthy baseline is a fault signature that
+// passive monitoring would take far longer to accumulate.
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/cluster.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::analytics {
+
+struct StressTestResult {
+  bool completed = false;
+  double step_k = 0.0;             // applied setpoint step
+  double time_constant_s = 0.0;    // fitted first-order tau
+  double residual_rmse_c = 0.0;    // fit quality (deg C)
+  /// Verdict relative to the supplied healthy baseline.
+  bool degraded = false;
+  double slowdown_factor = 1.0;    // tau / baseline tau
+};
+
+struct StressTestParams {
+  double step_k = -3.0;            // setpoint perturbation
+  Duration settle = 30 * kMinute;  // pre-test settling period
+  Duration observe = kHour;        // response observation window
+  Duration sample = kMinute;
+  /// tau above baseline * threshold_factor marks degradation.
+  double threshold_factor = 1.4;
+};
+
+/// Runs the perturb-observe-restore protocol on the live plant. The
+/// simulation is advanced by settle + observe; the setpoint is restored
+/// before returning. `baseline_tau_s` <= 0 skips the verdict (use the first
+/// commissioning run to establish the baseline).
+StressTestResult run_cooling_stress_test(sim::ClusterSimulation& cluster,
+                                         double baseline_tau_s,
+                                         const StressTestParams& params = {});
+
+/// Fits tau of a first-order step response y(t) = y_inf + (y0-y_inf)e^(-t/tau)
+/// from samples (seconds, value). Exposed for testing.
+double fit_time_constant(const std::vector<double>& t_s,
+                         const std::vector<double>& y, double y0, double y_inf);
+
+}  // namespace oda::analytics

@@ -1,0 +1,92 @@
+#include "analytics/predictive/backtest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oda::analytics {
+
+namespace {
+
+struct ErrorAccumulator {
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  double ape_sum = 0.0;
+  std::size_t ape_count = 0;
+  double sape_sum = 0.0;
+  std::size_t count = 0;
+
+  void add(double forecast, double truth) {
+    const double err = forecast - truth;
+    abs_sum += std::abs(err);
+    sq_sum += err * err;
+    if (std::abs(truth) > 1e-12) {
+      ape_sum += std::abs(err) / std::abs(truth);
+      ++ape_count;
+    }
+    const double denom = (std::abs(forecast) + std::abs(truth)) / 2.0;
+    if (denom > 1e-12) sape_sum += std::abs(err) / denom;
+    ++count;
+  }
+};
+
+}  // namespace
+
+BacktestResult backtest(const std::string& forecaster_spec,
+                        std::span<const double> series,
+                        const BacktestParams& params) {
+  ODA_REQUIRE(params.horizon > 0 && params.stride > 0, "bad backtest params");
+  ODA_REQUIRE(series.size() > params.min_train + params.horizon,
+              "series too short for backtest");
+
+  auto model = make_forecaster(forecaster_spec);
+  PersistenceForecaster baseline;
+
+  ErrorAccumulator model_err, baseline_err;
+  for (std::size_t origin = params.min_train;
+       origin + params.horizon <= series.size(); origin += params.stride) {
+    const auto train = series.subspan(0, origin);
+    model->fit(train);
+    baseline.fit(train);
+    const auto fc = model->forecast(params.horizon);
+    const auto base_fc = baseline.forecast(params.horizon);
+    for (std::size_t h = 0; h < params.horizon; ++h) {
+      model_err.add(fc[h], series[origin + h]);
+      baseline_err.add(base_fc[h], series[origin + h]);
+    }
+  }
+
+  BacktestResult result;
+  result.model = forecaster_spec;
+  result.evaluations = model_err.count;
+  if (model_err.count == 0) return result;
+  const double n = static_cast<double>(model_err.count);
+  result.mae = model_err.abs_sum / n;
+  result.rmse = std::sqrt(model_err.sq_sum / n);
+  result.mape = model_err.ape_count
+                    ? model_err.ape_sum / static_cast<double>(model_err.ape_count)
+                    : 0.0;
+  result.smape = model_err.sape_sum / n;
+  const double base_mae = baseline_err.abs_sum / n;
+  result.skill_vs_persistence =
+      base_mae > 0.0 ? 1.0 - result.mae / base_mae : 0.0;
+  return result;
+}
+
+std::vector<BacktestResult> backtest_all(
+    const std::vector<std::string>& forecaster_specs,
+    std::span<const double> series, const BacktestParams& params) {
+  std::vector<BacktestResult> out;
+  out.reserve(forecaster_specs.size());
+  for (const auto& spec : forecaster_specs) {
+    out.push_back(backtest(spec, series, params));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BacktestResult& a, const BacktestResult& b) {
+              return a.mae < b.mae;
+            });
+  return out;
+}
+
+}  // namespace oda::analytics

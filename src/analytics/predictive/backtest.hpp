@@ -1,0 +1,42 @@
+// Rolling-origin backtesting: the honest way to compare forecasters. The
+// model is refit at each origin on data up to that point and scored on the
+// next `horizon` truth values; errors are aggregated into MAE/RMSE/MAPE and
+// skill vs the persistence baseline.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analytics/predictive/forecaster.hpp"
+
+namespace oda::analytics {
+
+struct BacktestResult {
+  std::string model;
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;        // mean |err|/|truth|, truth==0 samples skipped
+  double smape = 0.0;       // symmetric MAPE in [0,2]
+  /// 1 - mae/mae_persistence; positive = beats persistence.
+  double skill_vs_persistence = 0.0;
+  std::size_t evaluations = 0;
+};
+
+struct BacktestParams {
+  std::size_t min_train = 64;    // first origin
+  std::size_t horizon = 8;       // steps scored per origin
+  std::size_t stride = 8;        // origin spacing
+};
+
+/// Backtests one forecaster spec over the series.
+BacktestResult backtest(const std::string& forecaster_spec,
+                        std::span<const double> series,
+                        const BacktestParams& params);
+
+/// Backtests several specs and returns results sorted by MAE.
+std::vector<BacktestResult> backtest_all(
+    const std::vector<std::string>& forecaster_specs,
+    std::span<const double> series, const BacktestParams& params);
+
+}  // namespace oda::analytics

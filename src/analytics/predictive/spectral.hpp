@@ -1,0 +1,74 @@
+// Spectral power forecasting — the LLNL beyond-the-datacenter use case [72]:
+// Fourier-decompose historical facility power, extrapolate the dominant
+// periodic components, and check the forecast against the utility
+// notification rule ("tell us before power moves more than `threshold_w`
+// within `window` seconds").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "analytics/predictive/forecaster.hpp"
+#include "common/types.hpp"
+#include "math/fft.hpp"
+
+namespace oda::analytics {
+
+/// FFT-based forecaster: linear trend + top-k spectral components of the
+/// detrended history, extrapolated past the end.
+class SpectralForecaster : public Forecaster {
+ public:
+  explicit SpectralForecaster(std::size_t components = 6);
+
+  void fit(std::span<const double> history) override;
+  std::vector<double> forecast(std::size_t horizon) const override;
+  const char* name() const override { return "spectral"; }
+
+  const std::vector<math::SpectralComponent>& components() const {
+    return components_;
+  }
+
+ private:
+  std::size_t n_components_;
+  std::vector<math::SpectralComponent> components_;
+  double intercept_ = 0.0, slope_ = 0.0;
+  std::size_t history_len_ = 0;
+};
+
+/// A predicted notification-worthy power swing.
+struct PowerSwingEvent {
+  std::size_t step = 0;       // steps after the forecast origin
+  double delta_w = 0.0;       // signed swing over the rule window
+};
+
+struct NotificationRule {
+  double threshold_w = 750e3;     // LLNL: 750 kW
+  Duration window = 15 * kMinute;  // over 15 minutes
+  Duration sample_period = kMinute;  // spacing of the power series
+};
+
+/// Scans a power series (forecast or actual) for rule violations: |p(t) -
+/// p(t - window)| > threshold.
+std::vector<PowerSwingEvent> detect_power_swings(std::span<const double> power,
+                                                 const NotificationRule& rule);
+
+/// Forecast-based notifier evaluation: compare predicted swings against the
+/// swings that actually happened.
+struct NotificationScore {
+  std::size_t predicted = 0;
+  std::size_t actual = 0;
+  std::size_t hits = 0;     // actual swings that were predicted within tolerance
+  std::size_t misses = 0;
+  std::size_t false_alarms = 0;
+  double precision() const;
+  double recall() const;
+};
+
+/// `tolerance_steps`: a prediction within this many steps of an actual swing
+/// counts as a hit.
+NotificationScore score_notifications(std::span<const PowerSwingEvent> predicted,
+                                      std::span<const PowerSwingEvent> actual,
+                                      std::size_t tolerance_steps);
+
+}  // namespace oda::analytics

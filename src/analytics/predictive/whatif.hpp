@@ -1,0 +1,47 @@
+// What-if scheduler simulation ([49]–[51]): replay a job trace against a
+// hypothetical machine/policy without the physical cluster model, to rank
+// scheduling policies for a site's real workload before deploying them.
+// Progress is idealized (1x, no contention/DVFS), which is exactly the
+// fidelity class of AccaSim/Batsim-style dispatching studies.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/workload.hpp"
+
+namespace oda::analytics {
+
+struct WhatIfParams {
+  std::size_t node_count = 64;
+  sim::QueueDiscipline discipline = sim::QueueDiscipline::kEasyBackfill;
+  Duration step = kMinute;
+  /// Hard stop (simulated) to bound runaway configurations.
+  Duration max_sim_time = 365 * kDay;
+};
+
+struct WhatIfResult {
+  std::string label;
+  double mean_wait_s = 0.0;
+  double p95_wait_s = 0.0;
+  double mean_slowdown = 0.0;
+  double mean_bounded_slowdown = 0.0;
+  Duration makespan = 0;
+  double mean_utilization = 0.0;
+  std::size_t jobs_completed = 0;
+  std::vector<sim::JobRecord> records;
+};
+
+/// Replays the trace; jobs run exactly their nominal duration.
+WhatIfResult simulate_policy(std::span<const sim::JobSpec> trace,
+                             const WhatIfParams& params,
+                             const std::string& label = "");
+
+/// Runs FCFS vs EASY-backfill on the same trace (the canonical comparison).
+std::vector<WhatIfResult> compare_disciplines(
+    std::span<const sim::JobSpec> trace, std::size_t node_count);
+
+}  // namespace oda::analytics

@@ -1,0 +1,163 @@
+#include "analytics/prescriptive/autotune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oda::analytics {
+
+const char* tune_strategy_name(TuneStrategy s) {
+  switch (s) {
+    case TuneStrategy::kGrid: return "grid";
+    case TuneStrategy::kRandom: return "random";
+    case TuneStrategy::kNelderMead: return "nelder-mead";
+    case TuneStrategy::kAnneal: return "anneal";
+  }
+  return "?";
+}
+
+AutoTuner::AutoTuner(std::vector<TunableParam> space, AppEvaluator evaluate,
+                     Params params)
+    : space_(std::move(space)), evaluate_(std::move(evaluate)), params_(params) {
+  ODA_REQUIRE(!space_.empty(), "autotuner needs parameters");
+  ODA_REQUIRE(evaluate_ != nullptr, "autotuner needs an evaluator");
+  for (const auto& p : space_) {
+    ODA_REQUIRE(p.max_value > p.min_value, "parameter range inverted: " + p.name);
+  }
+}
+
+TuneResult AutoTuner::tune(TuneStrategy strategy) {
+  TuneResult result;
+  result.strategy = tune_strategy_name(strategy);
+
+  // Baseline: the mid-point default configuration.
+  std::vector<double> mid(space_.size());
+  std::vector<double> lo(space_.size()), hi(space_.size());
+  for (std::size_t d = 0; d < space_.size(); ++d) {
+    lo[d] = space_[d].min_value;
+    hi[d] = space_[d].max_value;
+    mid[d] = (lo[d] + hi[d]) / 2.0;
+  }
+  result.baseline_cost = evaluate_(mid);
+
+  const auto clamped = [this](std::span<const double> x) {
+    std::vector<double> c(x.begin(), x.end());
+    for (std::size_t d = 0; d < space_.size(); ++d) {
+      c[d] = std::clamp(c[d], space_[d].min_value, space_[d].max_value);
+    }
+    return c;
+  };
+  const math::ObjectiveND objective = [&](std::span<const double> x) {
+    return evaluate_(clamped(x));
+  };
+
+  Rng rng(params_.seed);
+  math::OptResultND opt;
+  switch (strategy) {
+    case TuneStrategy::kGrid: {
+      std::vector<std::vector<double>> levels;
+      for (const auto& p : space_) {
+        if (!p.levels.empty()) {
+          levels.push_back(p.levels);
+          continue;
+        }
+        std::vector<double> l;
+        for (std::size_t i = 0; i < params_.grid_levels; ++i) {
+          l.push_back(p.min_value + (p.max_value - p.min_value) *
+                                        static_cast<double>(i) /
+                                        static_cast<double>(params_.grid_levels - 1));
+        }
+        levels.push_back(std::move(l));
+      }
+      opt = math::grid_search(objective, levels);
+      break;
+    }
+    case TuneStrategy::kRandom:
+      opt = math::random_search(objective, lo, hi, params_.budget, rng);
+      break;
+    case TuneStrategy::kNelderMead: {
+      // Start at the default; step a quarter of the smallest range.
+      double step = hi[0] - lo[0];
+      for (std::size_t d = 0; d < space_.size(); ++d) {
+        step = std::min(step, hi[d] - lo[d]);
+      }
+      opt = math::nelder_mead(objective, mid, step / 4.0, params_.budget);
+      break;
+    }
+    case TuneStrategy::kAnneal: {
+      math::AnnealParams ap;
+      ap.steps = params_.budget;
+      ap.initial_temperature = result.baseline_cost * 0.05;
+      opt = math::simulated_annealing(objective, lo, hi, ap, rng);
+      break;
+    }
+  }
+
+  result.best_config = clamped(opt.x);
+  result.best_cost = opt.value;
+  result.evaluations = opt.evaluations + 1;  // + baseline
+  result.improvement = result.baseline_cost > 0.0
+                           ? 1.0 - result.best_cost / result.baseline_cost
+                           : 0.0;
+  return result;
+}
+
+std::vector<TuneResult> AutoTuner::tune_all() {
+  std::vector<TuneResult> out;
+  for (const auto s : {TuneStrategy::kGrid, TuneStrategy::kRandom,
+                       TuneStrategy::kNelderMead, TuneStrategy::kAnneal}) {
+    out.push_back(tune(s));
+  }
+  std::sort(out.begin(), out.end(), [](const TuneResult& a, const TuneResult& b) {
+    return a.best_cost < b.best_cost;
+  });
+  return out;
+}
+
+AppEvaluator synthetic_app_surface(const std::vector<TunableParam>& space,
+                                   double base_runtime_s, std::uint64_t seed,
+                                   double noise) {
+  ODA_REQUIRE(base_runtime_s > 0.0, "base runtime must be positive");
+  // Per-app hidden structure: optimum location, per-dimension curvature,
+  // and one pairwise interaction term.
+  Rng rng(seed);
+  std::vector<double> optimum(space.size());
+  std::vector<double> curvature(space.size());
+  for (std::size_t d = 0; d < space.size(); ++d) {
+    optimum[d] = rng.uniform(space[d].min_value + 0.1 * (space[d].max_value - space[d].min_value),
+                             space[d].max_value - 0.1 * (space[d].max_value - space[d].min_value));
+    curvature[d] = rng.uniform(0.4, 2.5);
+  }
+  const std::size_t ia = space.size() > 1 ? 0 : 0;
+  const std::size_t ib = space.size() > 1 ? 1 : 0;
+  const double interaction = space.size() > 1 ? rng.uniform(-0.4, 0.4) : 0.0;
+  // Noise must be deterministic per configuration so repeated evaluation of
+  // the same point is consistent: hash the config into a seed.
+  return [space, optimum, curvature, ia, ib, interaction, base_runtime_s,
+          noise](std::span<const double> x) {
+    double penalty = 0.0;
+    for (std::size_t d = 0; d < space.size(); ++d) {
+      const double range = space[d].max_value - space[d].min_value;
+      const double z = (x[d] - optimum[d]) / range;
+      penalty += curvature[d] * z * z;
+    }
+    if (space.size() > 1) {
+      const double ra = space[ia].max_value - space[ia].min_value;
+      const double rb = space[ib].max_value - space[ib].min_value;
+      penalty += interaction * ((x[ia] - optimum[ia]) / ra) *
+                 ((x[ib] - optimum[ib]) / rb);
+    }
+    penalty = std::max(penalty, -0.2);
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (double v : x) {
+      const auto bits = static_cast<std::uint64_t>(std::llround(v * 1e6));
+      h = (h ^ bits) * 0x100000001B3ULL;
+    }
+    Rng point_rng(h);
+    const double jitter = 1.0 + point_rng.normal(0.0, noise);
+    return base_runtime_s * (1.0 + penalty) * std::max(jitter, 0.5);
+  };
+}
+
+}  // namespace oda::analytics

@@ -1,0 +1,74 @@
+// Application auto-tuning (Table I, prescriptive/applications — Autotune
+// [28], Active Harmony [29], PowerStack end-to-end tuning [41]): search a
+// job's tunable-parameter space against a measured objective. The tunable
+// application is abstracted behind an evaluation callback; for experiments
+// we provide a synthetic-but-structured response surface whose optimum and
+// curvature are seeded per "application".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "math/optimize.hpp"
+
+namespace oda::analytics {
+
+/// One tunable parameter of an application.
+struct TunableParam {
+  std::string name;
+  double min_value = 0.0;
+  double max_value = 1.0;
+  /// Levels for grid search; empty = derive `grid_levels` evenly.
+  std::vector<double> levels;
+};
+
+/// Measured cost of running the application at a configuration (lower is
+/// better; typically runtime in seconds or energy in joules).
+using AppEvaluator = std::function<double(std::span<const double>)>;
+
+enum class TuneStrategy { kGrid, kRandom, kNelderMead, kAnneal };
+const char* tune_strategy_name(TuneStrategy s);
+
+struct TuneResult {
+  std::string strategy;
+  std::vector<double> best_config;
+  double best_cost = 0.0;
+  double baseline_cost = 0.0;  // at the mid-point default config
+  double improvement = 0.0;    // 1 - best/baseline
+  std::size_t evaluations = 0;
+};
+
+class AutoTuner {
+ public:
+  struct Params {
+    std::size_t budget = 60;       // max evaluations (approx for NM)
+    std::size_t grid_levels = 4;   // per dimension when levels are empty
+    std::uint64_t seed = 7;
+  };
+
+  AutoTuner(std::vector<TunableParam> space, AppEvaluator evaluate)
+      : AutoTuner(std::move(space), std::move(evaluate), Params{}) {}
+  AutoTuner(std::vector<TunableParam> space, AppEvaluator evaluate,
+            Params params);
+
+  TuneResult tune(TuneStrategy strategy);
+  /// Runs every strategy and returns results sorted by best cost.
+  std::vector<TuneResult> tune_all();
+
+ private:
+  std::vector<TunableParam> space_;
+  AppEvaluator evaluate_;
+  Params params_;
+};
+
+/// Synthetic application response surface: smooth anisotropic bowl with one
+/// global optimum inside the box plus mild multiplicative noise — the
+/// stand-in for running a real tunable app (see DESIGN.md substitutions).
+AppEvaluator synthetic_app_surface(const std::vector<TunableParam>& space,
+                                   double base_runtime_s, std::uint64_t seed,
+                                   double noise = 0.01);
+
+}  // namespace oda::analytics

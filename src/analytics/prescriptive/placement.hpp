@@ -1,0 +1,54 @@
+// Prescriptive job placement (Table I, prescriptive/system-software —
+// power/thermal-aware allocation [21],[22],[42]): placement policies that
+// plug into the scheduler.
+//  * ThermalAwarePlacement spreads load across racks so no rack becomes a
+//    hotspot (the rack-inlet coupling makes hotspots cost leakage + fan
+//    power — the multi-pillar benefit measured in E6);
+//  * PackPlacement deliberately concentrates load (the siloed baseline).
+#pragma once
+
+#include <functional>
+
+#include "sim/cluster.hpp"
+#include "sim/scheduler.hpp"
+
+namespace oda::analytics {
+
+/// Chooses free nodes from the racks with the lowest current power, keeping
+/// a job's nodes as co-located as possible *within* each chosen rack.
+class ThermalAwarePlacement : public sim::PlacementPolicy {
+ public:
+  /// rack_power(r) must return the current rack power; nodes_per_rack maps
+  /// node index -> rack.
+  ThermalAwarePlacement(std::function<double(std::size_t)> rack_power,
+                        std::size_t racks, std::size_t nodes_per_rack);
+
+  std::optional<std::vector<std::size_t>> place(
+      const sim::JobSpec& spec, const std::vector<bool>& node_busy) override;
+  const char* name() const override { return "thermal-aware"; }
+
+ private:
+  std::function<double(std::size_t)> rack_power_;
+  std::size_t racks_;
+  std::size_t nodes_per_rack_;
+};
+
+/// Fills the machine rack by rack (tight packing): fewest racks touched.
+class PackPlacement : public sim::PlacementPolicy {
+ public:
+  explicit PackPlacement(std::size_t nodes_per_rack)
+      : nodes_per_rack_(nodes_per_rack) {}
+
+  std::optional<std::vector<std::size_t>> place(
+      const sim::JobSpec& spec, const std::vector<bool>& node_busy) override;
+  const char* name() const override { return "pack"; }
+
+ private:
+  std::size_t nodes_per_rack_;
+};
+
+/// Convenience: builds a ThermalAwarePlacement bound to a live cluster.
+std::shared_ptr<ThermalAwarePlacement> make_thermal_placement(
+    sim::ClusterSimulation& cluster);
+
+}  // namespace oda::analytics

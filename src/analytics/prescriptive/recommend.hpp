@@ -1,0 +1,55 @@
+// Code-improvement recommendations (Table I prescriptive/applications,
+// Zhang et al. [44]; code-level diagnosis [15],[27]): turn a job's measured
+// telemetry signature — boundedness, utilization balance, phase structure,
+// roofline position — into concrete, prioritized advice for the user.
+// This is recommendation-based prescriptive ODA: no knob is actuated; the
+// "actuator" is the developer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analytics/diagnostic/software.hpp"
+#include "common/types.hpp"
+#include "sim/scheduler.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::analytics {
+
+struct Recommendation {
+  int priority = 0;         // 1 = highest
+  std::string category;     // "memory", "network", "io", "dvfs", "sizing"...
+  std::string finding;      // what the telemetry showed
+  std::string advice;       // what to do about it
+};
+
+struct JobProfile {
+  double cpu_util = 0.0;
+  double mem_bw_util = 0.0;
+  double net_util = 0.0;
+  double io_util = 0.0;
+  double cpu_util_stddev = 0.0;    // imbalance across the job's nodes
+  double walltime_request_ratio = 0.0;  // requested / actual runtime
+  Boundedness boundedness = Boundedness::kIdle;
+};
+
+/// Aggregates a completed job's telemetry into the profile the rule base
+/// consumes.
+JobProfile profile_job(const telemetry::TimeSeriesStore& store,
+                       const sim::JobRecord& record,
+                       const std::vector<std::string>& node_prefixes,
+                       Duration bucket = kMinute);
+
+/// The rule base: deterministic, explainable advice sorted by priority.
+std::vector<Recommendation> recommend(const JobProfile& profile);
+
+/// Convenience: profile + recommend in one call.
+std::vector<Recommendation> recommend_for_job(
+    const telemetry::TimeSeriesStore& store, const sim::JobRecord& record,
+    const std::vector<std::string>& node_prefixes);
+
+/// Renders recommendations as a user-facing report.
+std::string render_recommendations(const sim::JobRecord& record,
+                                   const std::vector<Recommendation>& recs);
+
+}  // namespace oda::analytics

@@ -1,0 +1,95 @@
+#include "analytics/prescriptive/response.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace oda::analytics {
+
+void ResponsePolicy::register_handler(const std::string& condition,
+                                      Handler handler) {
+  ODA_REQUIRE(handler != nullptr, "null response handler");
+  handlers_.emplace_back(condition, std::move(handler));
+}
+
+ResponseAction ResponsePolicy::respond(const Diagnosis& diagnosis,
+                                       sim::ClusterSimulation& cluster,
+                                       std::vector<Actuation>& actuation_log) {
+  ResponseAction action;
+  action.time = cluster.now();
+  action.diagnosis = diagnosis;
+
+  const auto it = std::find_if(handlers_.begin(), handlers_.end(),
+                               [&](const auto& h) {
+                                 return h.first == diagnosis.condition;
+                               });
+  if (it == handlers_.end()) {
+    action.action = "no handler registered; operator attention required";
+  } else if (mode_ == ResponseMode::kAutomatic) {
+    action.action = it->second(diagnosis, cluster, actuation_log);
+    action.executed = true;
+  } else {
+    // Recommend: describe what the handler would do without actuating.
+    std::vector<Actuation> scratch;
+    // Handlers must be side-effect-free apart from knob writes, which we
+    // cannot dry-run; recommendation mode therefore uses canned text.
+    action.action = "recommended: run '" + diagnosis.condition +
+                    "' remediation on " + diagnosis.subject;
+  }
+  actions_.push_back(action);
+  return action;
+}
+
+ResponsePolicy ResponsePolicy::standard(ResponseMode mode) {
+  ResponsePolicy policy(mode);
+
+  policy.register_handler(
+      "fan-failure",
+      [](const Diagnosis& d, sim::ClusterSimulation& cluster,
+         std::vector<Actuation>& log) {
+        // Protect the node: drop its frequency to minimum until repaired.
+        const std::string knob = d.subject + "/freq_setpoint";
+        if (cluster.knobs().contains(knob)) {
+          actuate(cluster, log, "response-policy", knob, 0.0,
+                  "fan failure: downclock to protect node, schedule drain");
+        }
+        return "downclocked " + d.subject + " to minimum; drain recommended";
+      });
+
+  policy.register_handler(
+      "pump-degradation",
+      [](const Diagnosis& d, sim::ClusterSimulation& cluster,
+         std::vector<Actuation>& log) {
+        (void)d;
+        // Compensate flow loss with pump speed, at an efficiency cost.
+        const double current = cluster.knobs().get("facility/pump_speed");
+        actuate(cluster, log, "response-policy", "facility/pump_speed",
+                current + 0.15, "pump degradation: raising speed to hold flow");
+        return "raised pump speed to compensate degraded pump";
+      });
+
+  policy.register_handler(
+      "thermal-runaway",
+      [](const Diagnosis& d, sim::ClusterSimulation& cluster,
+         std::vector<Actuation>& log) {
+        (void)d;
+        const double setpoint = cluster.knobs().get("facility/supply_setpoint");
+        actuate(cluster, log, "response-policy", "facility/supply_setpoint",
+                setpoint - 4.0, "thermal runaway: lowering supply setpoint");
+        return "lowered supply setpoint by 4 K";
+      });
+
+  policy.register_handler(
+      "network-contention",
+      [](const Diagnosis& d, sim::ClusterSimulation& cluster,
+         std::vector<Actuation>& log) {
+        (void)cluster;
+        (void)log;
+        return "flagged aggressor " + d.subject +
+               " for migration at next checkpoint (manual step)";
+      });
+
+  return policy;
+}
+
+}  // namespace oda::analytics

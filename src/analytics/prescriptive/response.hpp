@@ -1,0 +1,63 @@
+// Anomaly response (prescriptive/building-infrastructure — Bodik [38],
+// Bortot [39]): maps diagnosed conditions to remedial actions, either as
+// recommendations for the operator or as automatic actuations, with a full
+// audit trail. This is the "respond" half of the ENI-style
+// diagnostic→prescriptive composition shown in Figure 3.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analytics/prescriptive/controller.hpp"
+#include "sim/faults.hpp"
+
+namespace oda::analytics {
+
+enum class ResponseMode { kRecommend, kAutomatic };
+
+struct Diagnosis {
+  std::string condition;   // e.g. "fan-failure", "pump-degradation"
+  std::string subject;     // component path
+  double severity = 0.0;   // [0,1]
+};
+
+struct ResponseAction {
+  TimePoint time = 0;
+  Diagnosis diagnosis;
+  std::string action;      // human-readable description
+  bool executed = false;   // false = recommendation only
+};
+
+class ResponsePolicy {
+ public:
+  using Handler = std::function<std::string(const Diagnosis&,
+                                            sim::ClusterSimulation&,
+                                            std::vector<Actuation>&)>;
+
+  explicit ResponsePolicy(ResponseMode mode) : mode_(mode) {}
+
+  /// Registers the handler for a condition. The handler performs the
+  /// actuation (in automatic mode) and returns its description.
+  void register_handler(const std::string& condition, Handler handler);
+
+  /// Processes a diagnosis: executes or records a recommendation.
+  ResponseAction respond(const Diagnosis& diagnosis,
+                         sim::ClusterSimulation& cluster,
+                         std::vector<Actuation>& actuation_log);
+
+  const std::vector<ResponseAction>& actions() const { return actions_; }
+  ResponseMode mode() const { return mode_; }
+
+  /// Installs the default handlers for the simulated facility's fault
+  /// classes (fan failure -> downclock + drain recommendation; pump
+  /// degradation -> raise pump speed; thermal runaway -> lower setpoint...).
+  static ResponsePolicy standard(ResponseMode mode);
+
+ private:
+  ResponseMode mode_;
+  std::vector<std::pair<std::string, Handler>> handlers_;
+  std::vector<ResponseAction> actions_;
+};
+
+}  // namespace oda::analytics

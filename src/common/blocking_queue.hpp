@@ -1,0 +1,100 @@
+// Bounded multi-producer/multi-consumer blocking queue. Mutex + condition
+// variables: simple, correct, and fast enough for control-plane traffic
+// (task dispatch, alerts); the data plane uses SpscQueue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace oda {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Blocks while full. Returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] {
+      return closed_ || capacity_ == 0 || items_.size() < capacity_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_) return false;
+      if (capacity_ != 0 && items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain remaining items.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace oda

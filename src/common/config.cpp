@@ -1,0 +1,131 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace oda {
+
+Config Config::from_text(const std::string& text) {
+  Config cfg;
+  for (const auto& raw_line : split(text, '\n')) {
+    std::string_view line = trim(raw_line);
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw ConfigError("malformed config line (missing '='): " +
+                        std::string(raw_line));
+    }
+    const std::string key{trim(line.substr(0, eq))};
+    const std::string value{trim(line.substr(eq + 1))};
+    if (key.empty()) throw ConfigError("empty config key in: " + std::string(raw_line));
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+void Config::set(const std::string& key, double value) {
+  values_[key] = format_double(value, 10, true);
+}
+void Config::set(const std::string& key, std::int64_t value) {
+  values_[key] = std::to_string(value);
+}
+void Config::set(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+std::optional<std::string> Config::raw(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key) const {
+  const auto v = raw(key);
+  if (!v) throw ConfigError("missing config key: " + key);
+  return *v;
+}
+
+std::string Config::get_string_or(const std::string& key,
+                                  std::string fallback) const {
+  return raw(key).value_or(std::move(fallback));
+}
+
+double Config::get_double(const std::string& key) const {
+  const std::string v = get_string(key);
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    throw ConfigError("config key '" + key + "' is not a number: " + v);
+  }
+  return d;
+}
+
+double Config::get_double_or(const std::string& key, double fallback) const {
+  return contains(key) ? get_double(key) : fallback;
+}
+
+std::int64_t Config::get_int(const std::string& key) const {
+  const std::string v = get_string(key);
+  char* end = nullptr;
+  const long long i = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    throw ConfigError("config key '" + key + "' is not an integer: " + v);
+  }
+  return i;
+}
+
+std::int64_t Config::get_int_or(const std::string& key,
+                                std::int64_t fallback) const {
+  return contains(key) ? get_int(key) : fallback;
+}
+
+bool Config::get_bool(const std::string& key) const {
+  const std::string v = to_lower(get_string(key));
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw ConfigError("config key '" + key + "' is not a boolean: " + v);
+}
+
+bool Config::get_bool_or(const std::string& key, bool fallback) const {
+  return contains(key) ? get_bool(key) : fallback;
+}
+
+Config Config::scoped(const std::string& prefix) const {
+  Config out;
+  const std::string full = prefix + ".";
+  for (const auto& [k, v] : values_) {
+    if (starts_with(k, full)) out.values_[k.substr(full.size())] = v;
+  }
+  return out;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.values_) values_[k] = v;
+}
+
+std::string Config::to_text() const {
+  std::ostringstream out;
+  for (const auto& [k, v] : values_) out << k << " = " << v << "\n";
+  return out.str();
+}
+
+}  // namespace oda

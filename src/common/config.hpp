@@ -1,0 +1,54 @@
+// Flat key-value configuration with typed accessors. Parsed from
+// "key = value" text (comments with '#') or set programmatically; every
+// simulator and analytics component takes its parameters through this so
+// experiments are scriptable from one place.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oda {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key = value" lines; '#' starts a comment; blank lines ignored.
+  static Config from_text(const std::string& text);
+
+  void set(const std::string& key, std::string value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, bool value);
+
+  bool contains(const std::string& key) const;
+  std::vector<std::string> keys() const;
+
+  /// Typed getters: the _or variants return the fallback when missing; the
+  /// required variants throw ConfigError when missing or malformed.
+  std::string get_string(const std::string& key) const;
+  std::string get_string_or(const std::string& key, std::string fallback) const;
+  double get_double(const std::string& key) const;
+  double get_double_or(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key) const;
+  std::int64_t get_int_or(const std::string& key, std::int64_t fallback) const;
+  bool get_bool(const std::string& key) const;
+  bool get_bool_or(const std::string& key, bool fallback) const;
+
+  /// Returns a sub-config of keys under "prefix." with the prefix stripped.
+  Config scoped(const std::string& prefix) const;
+
+  /// Merges other into this; other's values win on conflict.
+  void merge(const Config& other);
+
+  std::string to_text() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace oda

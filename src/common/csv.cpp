@@ -1,0 +1,124 @@
+#include "common/csv.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace oda {
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) text.push_back(format_double(v, precision, true));
+  write_row(text);
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw ConfigError("CSV column not found: " + name);
+}
+
+std::vector<double> CsvTable::numeric_column(const std::string& name) const {
+  const std::size_t idx = column(name);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (idx >= row.size()) {
+      out.push_back(std::nan(""));
+      continue;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(row[idx].c_str(), &end);
+    out.push_back(end == row[idx].c_str() ? std::nan("") : v);
+  }
+  return out;
+}
+
+CsvTable parse_csv(const std::string& text) {
+  CsvTable table;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  const auto end_cell = [&] {
+    row.push_back(cell);
+    cell.clear();
+  };
+  const auto end_row = [&] {
+    end_cell();
+    if (table.header.empty()) {
+      table.header = row;
+    } else {
+      table.rows.push_back(row);
+    }
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_cell();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        if (row_has_content || !cell.empty() || !row.empty()) end_row();
+        break;
+      default:
+        cell += c;
+        row_has_content = true;
+        break;
+    }
+  }
+  if (row_has_content || !cell.empty() || !row.empty()) end_row();
+  return table;
+}
+
+}  // namespace oda

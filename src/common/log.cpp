@@ -1,0 +1,44 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace oda {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mu;
+Log::Sink g_sink;  // guarded by g_sink_mu
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Log::set_level(LogLevel level) { g_level.store(level); }
+LogLevel Log::level() { return g_level.load(); }
+
+void Log::set_sink(Sink sink) {
+  std::lock_guard lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::lock_guard lock(g_sink_mu);
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+  }
+}
+
+}  // namespace oda

@@ -1,0 +1,56 @@
+// Leveled logging with pluggable sink. Library code logs sparingly (warnings
+// on degraded behaviour); examples and benches raise the level for narration.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace oda {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* log_level_name(LogLevel level);
+
+/// Process-wide logger configuration (thread-safe).
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  /// Replaces the sink (default writes to stderr). Pass nullptr to restore.
+  static void set_sink(Sink sink);
+  static void write(LogLevel level, const std::string& message);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define ODA_LOG(severity)                       \
+  if (::oda::Log::level() <= (severity))        \
+  ::oda::detail::LogLine(severity)
+
+#define ODA_LOG_DEBUG ODA_LOG(::oda::LogLevel::kDebug)
+#define ODA_LOG_INFO ODA_LOG(::oda::LogLevel::kInfo)
+#define ODA_LOG_WARN ODA_LOG(::oda::LogLevel::kWarn)
+#define ODA_LOG_ERROR ODA_LOG(::oda::LogLevel::kError)
+
+}  // namespace oda

@@ -1,0 +1,62 @@
+// Fixed-capacity circular buffer. The time-series store keeps one of these
+// per sensor: appends are O(1) and old samples are overwritten once capacity
+// is reached, bounding memory for unbounded telemetry streams.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace oda {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : buf_(capacity), capacity_(capacity) {
+    ODA_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  /// Appends an element, overwriting the oldest when full.
+  void push(T value) {
+    buf_[head_] = std::move(value);
+    head_ = (head_ + 1) % capacity_;
+    if (size_ < capacity_) ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  /// Element i in insertion order (0 = oldest retained).
+  const T& operator[](std::size_t i) const {
+    ODA_REQUIRE(i < size_, "ring buffer index out of range");
+    return buf_[(head_ + capacity_ - size_ + i) % capacity_];
+  }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Copies retained elements oldest-first.
+  std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace oda

@@ -1,0 +1,82 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the stack draws from an explicitly seeded
+// Rng so a whole simulation is reproducible from a single root seed.
+// xoshiro256** is used as the core generator (fast, high quality) with
+// SplitMix64 for seeding and stream splitting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace oda {
+
+/// SplitMix64 step: used to expand seeds and derive independent streams.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with distribution helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL);
+
+  /// Derives an independent child stream; children with distinct tags are
+  /// statistically independent of the parent and of each other.
+  Rng split(std::uint64_t tag);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Exponential with given rate (mean 1/rate).
+  double exponential(double rate);
+  /// Poisson-distributed count with given mean (Knuth for small, normal
+  /// approximation for large means).
+  std::int64_t poisson(double mean);
+  /// Log-normal parameterized by the mean/sigma of the underlying normal.
+  double lognormal(double mu, double sigma);
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed runtimes).
+  double pareto(double xm, double alpha);
+  /// Weibull with scale lambda and shape k (failure times).
+  double weibull(double lambda, double k);
+  /// True with probability p.
+  bool bernoulli(double p);
+  /// Index drawn from unnormalized weights.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace oda

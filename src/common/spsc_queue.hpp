@@ -1,0 +1,67 @@
+// Bounded lock-free single-producer/single-consumer queue (Lamport-style
+// with C++11 atomics). Used on the hot path between a telemetry producer
+// and its collector thread where a mutex would serialize the pipeline.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace oda {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two; one slot is kept empty to
+  /// distinguish full from empty, so usable capacity is `capacity`.
+  explicit SpscQueue(std::size_t capacity) {
+    ODA_REQUIRE(capacity > 0, "queue capacity must be positive");
+    std::size_t cap = 1;
+    while (cap < capacity + 1) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when the queue is full.
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buf_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when the queue is empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T value = std::move(buf_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  /// Approximate size; exact only when called from the consumer with a
+  /// quiescent producer (and vice versa).
+  std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace oda

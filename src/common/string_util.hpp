@@ -1,0 +1,28 @@
+// Small string helpers used by the table/CSV/config machinery.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oda {
+
+std::vector<std::string> split(std::string_view s, char delim);
+std::string_view trim(std::string_view s);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string to_lower(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Glob-style match where '*' matches any run of characters and '?' one
+/// character. Used for wildcard sensor-topic subscriptions.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Fixed-precision double formatting ("%.3f" by default) with trailing-zero
+/// trimming option.
+std::string format_double(double v, int precision = 3, bool trim_zeros = false);
+
+/// Formats v with SI prefix (e.g. 1234567 -> "1.23M").
+std::string si_format(double v, int precision = 2);
+
+}  // namespace oda

@@ -1,0 +1,154 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace oda {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)),
+      aligns_(headers_.size(), Align::kLeft),
+      max_widths_(headers_.size(), 0) {
+  ODA_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void TextTable::set_align(std::size_t column, Align align) {
+  ODA_REQUIRE(column < aligns_.size(), "column out of range");
+  aligns_[column] = align;
+}
+
+void TextTable::set_max_width(std::size_t column, std::size_t width) {
+  ODA_REQUIRE(column < max_widths_.size(), "column out of range");
+  max_widths_[column] = width;
+}
+
+void TextTable::set_title(std::string title) { title_ = std::move(title); }
+
+std::vector<std::string> TextTable::wrap_cell(const std::string& text,
+                                              std::size_t width) const {
+  std::vector<std::string> lines;
+  for (const auto& hard_line : split(text, '\n')) {
+    if (width == 0 || hard_line.size() <= width) {
+      lines.push_back(hard_line);
+      continue;
+    }
+    std::string current;
+    for (const auto& word : split(hard_line, ' ')) {
+      if (current.empty()) {
+        current = word;
+      } else if (current.size() + 1 + word.size() <= width) {
+        current += ' ';
+        current += word;
+      } else {
+        lines.push_back(current);
+        current = word;
+      }
+      // Break words longer than the column.
+      while (current.size() > width) {
+        lines.push_back(current.substr(0, width));
+        current = current.substr(width);
+      }
+    }
+    lines.push_back(current);
+  }
+  if (lines.empty()) lines.emplace_back();
+  return lines;
+}
+
+std::string TextTable::render() const {
+  const std::size_t ncols = headers_.size();
+
+  // Pre-wrap every cell and compute column widths.
+  std::vector<std::vector<std::vector<std::string>>> wrapped;  // row, col, line
+  wrapped.reserve(rows_.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  for (std::size_t c = 0; c < ncols; ++c) {
+    widths[c] = headers_[c].size();
+    if (max_widths_[c] != 0) widths[c] = std::min(widths[c], max_widths_[c]);
+  }
+  for (const auto& row : rows_) {
+    std::vector<std::vector<std::string>> wrow(ncols);
+    if (!row.separator) {
+      for (std::size_t c = 0; c < ncols; ++c) {
+        wrow[c] = wrap_cell(row.cells[c], max_widths_[c]);
+        for (const auto& line : wrow[c]) {
+          widths[c] = std::max(widths[c], line.size());
+        }
+      }
+    }
+    wrapped.push_back(std::move(wrow));
+  }
+
+  const auto pad = [&](const std::string& s, std::size_t width, Align a) {
+    if (s.size() >= width) return s;
+    const std::size_t space = width - s.size();
+    switch (a) {
+      case Align::kLeft:
+        return s + std::string(space, ' ');
+      case Align::kRight:
+        return std::string(space, ' ') + s;
+      case Align::kCenter:
+        return std::string(space / 2, ' ') + s + std::string(space - space / 2, ' ');
+    }
+    return s;
+  };
+
+  const auto rule = [&](char fill) {
+    std::string line = "+";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      line += std::string(widths[c] + 2, fill);
+      line += "+";
+    }
+    return line;
+  };
+
+  std::ostringstream out;
+  std::size_t total_width = 1;
+  for (std::size_t c = 0; c < ncols; ++c) total_width += widths[c] + 3;
+  if (!title_.empty()) {
+    const std::size_t space = total_width > title_.size()
+                                  ? (total_width - title_.size()) / 2
+                                  : 0;
+    out << std::string(space, ' ') << title_ << "\n";
+  }
+  out << rule('-') << "\n";
+  out << "|";
+  for (std::size_t c = 0; c < ncols; ++c) {
+    out << " " << pad(headers_[c], widths[c], Align::kCenter) << " |";
+  }
+  out << "\n" << rule('=') << "\n";
+
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (rows_[r].separator) {
+      out << rule('-') << "\n";
+      continue;
+    }
+    std::size_t height = 1;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      height = std::max(height, wrapped[r][c].size());
+    }
+    for (std::size_t line = 0; line < height; ++line) {
+      out << "|";
+      for (std::size_t c = 0; c < ncols; ++c) {
+        const std::string& cell =
+            line < wrapped[r][c].size() ? wrapped[r][c][line] : std::string{};
+        out << " " << pad(cell, widths[c], aligns_[c]) << " |";
+      }
+      out << "\n";
+    }
+  }
+  out << rule('-') << "\n";
+  return out.str();
+}
+
+}  // namespace oda

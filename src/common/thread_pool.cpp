@@ -1,0 +1,63 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace oda {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::worker_loop() {
+  while (auto task = tasks_.pop()) {
+    (*task)();
+    task_done();
+  }
+}
+
+void ThreadPool::task_done() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, thread_count() * 4);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = begin; c < end; c += chunk) {
+    const std::size_t hi = std::min(c + chunk, end);
+    futures.push_back(submit([c, hi, &fn] {
+      for (std::size_t i = c; i < hi; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(idle_mu_);
+  idle_cv_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::shutdown() {
+  tasks_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace oda

@@ -1,0 +1,65 @@
+// Fixed-size thread pool with future-returning submission and a parallel_for
+// helper. Collectors and batch analytics use it to fan work across cores.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/blocking_queue.hpp"
+
+namespace oda {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Submits a callable; the returned future yields its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    const bool accepted = tasks_.push([task] { (*task)(); });
+    if (!accepted) {
+      // Pool already shut down: run inline so the future is still satisfied.
+      (*task)();
+      task_done();
+    }
+    return result;
+  }
+
+  /// Runs fn(i) for i in [begin, end) across the pool and waits.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Stops accepting tasks and joins workers (also done by the destructor).
+  void shutdown();
+
+ private:
+  void worker_loop();
+  void task_done();
+
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace oda

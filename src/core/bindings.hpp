@@ -1,0 +1,19 @@
+// The operational realization of the framework: every analytics engine
+// implemented in this library registered as a capability on the grid. The
+// paper classifies *other people's* systems; this registry classifies *this
+// library's* engines, proving the grid is fully covered by working code —
+// each of the 16 cells backed by at least one engine, each descriptor
+// pointing at the module that implements it.
+#pragma once
+
+#include "core/grid.hpp"
+
+namespace oda::core {
+
+/// Builds the grid of every capability implemented by this library.
+FrameworkGrid implemented_capabilities();
+
+/// Asserts full 16-cell coverage; returns the coverage report.
+CoverageReport verify_full_coverage(const FrameworkGrid& grid);
+
+}  // namespace oda::core

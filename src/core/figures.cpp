@@ -1,0 +1,68 @@
+#include "core/figures.hpp"
+
+#include <sstream>
+
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace oda::core {
+
+std::string render_figure1() {
+  std::ostringstream out;
+  out << "FIGURE 1: FOUR PILLARS OF ENERGY EFFICIENT HPC\n";
+  out << "\n";
+  out << "            +--------------------------------------------------+\n";
+  out << "            |        energy-efficient HPC data center          |\n";
+  out << "            +--------------------------------------------------+\n";
+  out << "              |             |              |             |\n";
+
+  TextTable table({"pillar 1", "pillar 2", "pillar 3", "pillar 4"});
+  std::vector<std::string> names, descs, examples;
+  for (const auto& pillar : kAllPillars) {
+    const auto& t = traits(pillar);
+    names.push_back(t.name);
+    descs.push_back(t.description);
+    examples.push_back(std::string("in this library: ") + t.example_components);
+  }
+  for (std::size_t c = 0; c < 4; ++c) table.set_max_width(c, 24);
+  table.add_row(names);
+  table.add_separator();
+  table.add_row(descs);
+  table.add_separator();
+  table.add_row(examples);
+  out << table.render();
+  return out.str();
+}
+
+std::string render_figure2(
+    const std::map<AnalyticsType, double>& measured_cost_ms) {
+  std::ostringstream out;
+  out << "FIGURE 2: THE FOUR TYPES OF DATA ANALYTICS (value vs difficulty)\n\n";
+
+  // Staircase, most sophisticated top-right.
+  const std::array<AnalyticsType, 4> order = {
+      AnalyticsType::kPrescriptive, AnalyticsType::kPredictive,
+      AnalyticsType::kDiagnostic, AnalyticsType::kDescriptive};
+  for (const auto& type : order) {
+    const auto& t = traits(type);
+    const std::string indent(
+        static_cast<std::size_t>(t.difficulty_rank - 1) * 10, ' ');
+    out << indent << "+------------------------+\n";
+    out << indent << "| " << t.name << std::string(23 - std::string(t.name).size(), ' ')
+        << "|\n";
+    out << indent << "| \"" << t.question << "\"\n";
+    out << indent << "| " << to_string(t.insight) << ", "
+        << (t.proactive ? "proactive" : "reactive") << "\n";
+    if (const auto it = measured_cost_ms.find(type);
+        it != measured_cost_ms.end()) {
+      out << indent << "| measured reference cost: "
+          << format_double(it->second, 2) << " ms\n";
+    }
+    out << indent << "+------------------------+\n";
+  }
+  out << "\n  value and difficulty increase toward the top          \n";
+  out << "  (hindsight -> insight -> foresight)\n";
+  return out.str();
+}
+
+}  // namespace oda::core

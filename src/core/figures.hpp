@@ -1,0 +1,25 @@
+// Renderers for the paper's conceptual figures:
+//  * Figure 1 — the four pillars of energy-efficient HPC, annotated with
+//    the live subsystems of the simulated facility that realize each pillar;
+//  * Figure 2 — the four-types staircase (value vs difficulty, hindsight →
+//    insight → foresight), optionally annotated with measured per-type
+//    compute cost from this library's reference pipeline.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/pillars.hpp"
+
+namespace oda::core {
+
+/// Figure 1: pillar structure + example components per pillar.
+std::string render_figure1();
+
+/// Figure 2: the staircase. `measured_cost_ms`, when non-empty, annotates
+/// each type with the measured runtime of this library's reference
+/// implementation of that type (demonstrating the difficulty ordering).
+std::string render_figure2(
+    const std::map<AnalyticsType, double>& measured_cost_ms = {});
+
+}  // namespace oda::core

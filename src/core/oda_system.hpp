@@ -1,0 +1,58 @@
+// Complex ODA systems (paper Section V, Figure 3): named compositions of
+// capabilities that span multiple cells of the grid — the multi-type and
+// multi-pillar cases whose trade-offs the paper discusses. Includes the
+// published example systems used in Figure 3 and the discussion (ENI/Bortot,
+// PowerStack, LLNL utility forecasting, DRAS-CQSim, ClusterCockpit, GEOPM).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace oda::core {
+
+struct OdaSystem {
+  std::string name;
+  std::string site;         // deploying site/organization
+  std::string description;
+  std::vector<GridCell> cells;
+  std::vector<int> references;
+
+  bool multi_pillar() const;
+  bool multi_type() const;
+  /// Number of distinct disciplines the composition requires — the paper's
+  /// Sec. V-A cost argument: one per analytics type involved.
+  std::size_t discipline_count() const;
+};
+
+/// The complex-system examples discussed in the paper.
+std::vector<OdaSystem> published_example_systems();
+
+/// Renders the Figure 3 overlay: the 4x4 grid with a letter per system
+/// marking every cell it occupies, plus the legend.
+std::string render_figure3(const std::vector<OdaSystem>& systems);
+
+/// Multi-pillar/multi-type census over a set of systems (Sec. V-B claim:
+/// single-pillar systems dominate).
+struct SystemCensus {
+  std::size_t total = 0;
+  std::size_t single_cell = 0;
+  std::size_t multi_type_only = 0;
+  std::size_t multi_pillar_only = 0;
+  std::size_t multi_both = 0;
+};
+SystemCensus census(const std::vector<OdaSystem>& systems);
+
+/// Jaccard similarity of two systems' cell sets — the paper's Sec. I claim
+/// that the grid lets use cases be "compared in terms of similarity ...
+/// based on their relative locations within the grid".
+double system_similarity(const OdaSystem& a, const OdaSystem& b);
+
+/// Pairwise similarity matrix over a set of systems, rendered as a table.
+std::string render_similarity_matrix(const std::vector<OdaSystem>& systems);
+
+/// Comprehensiveness: the fraction of the 16 cells a system covers.
+double comprehensiveness(const OdaSystem& system);
+
+}  // namespace oda::core

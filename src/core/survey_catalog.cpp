@@ -1,0 +1,300 @@
+#include "core/survey_catalog.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace oda::core {
+
+void SurveyCatalog::add(AnalyticsType type, Pillar pillar,
+                        std::string description, std::vector<int> references) {
+  SurveyUseCase uc;
+  uc.description = std::move(description);
+  uc.references = std::move(references);
+  uc.cell = GridCell{pillar, type};
+  use_cases_.push_back(std::move(uc));
+}
+
+void SurveyCatalog::add_reference(int number, std::string authors,
+                                  std::string venue, int year) {
+  refs_[number] = SurveyReference{number, std::move(authors), std::move(venue), year};
+}
+
+SurveyCatalog SurveyCatalog::table1() {
+  SurveyCatalog c;
+  using P = Pillar;
+  using T = AnalyticsType;
+
+  // ---- Prescriptive row -----------------------------------------------------
+  c.add(T::kPrescriptive, P::kBuildingInfrastructure,
+        "Switching between types of cooling", {12});
+  c.add(T::kPrescriptive, P::kBuildingInfrastructure,
+        "Tuning of cooling machinery", {18, 37});
+  c.add(T::kPrescriptive, P::kBuildingInfrastructure,
+        "Responding to anomalies", {38, 39});
+  c.add(T::kPrescriptive, P::kSystemHardware,
+        "Cooling optimization at system level", {12});
+  c.add(T::kPrescriptive, P::kSystemHardware, "CPU frequency tuning",
+        {11, 24, 40});
+  c.add(T::kPrescriptive, P::kSystemHardware, "Tuning of hardware knobs",
+        {20, 25, 41});
+  c.add(T::kPrescriptive, P::kSystemSoftware,
+        "Intelligent placement of tasks and threads", {42});
+  c.add(T::kPrescriptive, P::kSystemSoftware, "Plan-based scheduling", {43});
+  c.add(T::kPrescriptive, P::kSystemSoftware,
+        "Power and KPI-aware scheduling", {21, 22, 23});
+  c.add(T::kPrescriptive, P::kApplications, "Auto-tuning of HPC applications",
+        {28, 29, 41});
+  c.add(T::kPrescriptive, P::kApplications,
+        "Code improvement recommendations", {44});
+
+  // ---- Predictive row -------------------------------------------------------
+  c.add(T::kPredictive, P::kBuildingInfrastructure,
+        "Predicting data center KPIs", {45});
+  c.add(T::kPredictive, P::kBuildingInfrastructure,
+        "Predicting cooling demand", {37});
+  c.add(T::kPredictive, P::kBuildingInfrastructure,
+        "Modelling cooling performance", {18, 46});
+  c.add(T::kPredictive, P::kSystemHardware, "Forecasting hardware sensors",
+        {32, 47});
+  c.add(T::kPredictive, P::kSystemHardware, "Component failure prediction",
+        {48});
+  c.add(T::kPredictive, P::kSystemHardware,
+        "Predicting CPU instruction mixes", {11});
+  c.add(T::kPredictive, P::kSystemSoftware,
+        "Simulating HPC systems and schedulers", {49, 50, 51});
+  c.add(T::kPredictive, P::kSystemSoftware, "Predicting HPC workloads", {23});
+  c.add(T::kPredictive, P::kApplications, "Predicting job durations",
+        {30, 34, 35});
+  c.add(T::kPredictive, P::kApplications, "Predicting job resource usage",
+        {31, 52, 53});
+  c.add(T::kPredictive, P::kApplications,
+        "Predicting performance profiles of code regions", {24});
+
+  // ---- Diagnostic row -------------------------------------------------------
+  c.add(T::kDiagnostic, P::kBuildingInfrastructure,
+        "Fingerprinting data center crises", {38});
+  c.add(T::kDiagnostic, P::kBuildingInfrastructure,
+        "Infrastructure anomaly detection", {54});
+  c.add(T::kDiagnostic, P::kBuildingInfrastructure,
+        "Infrastructure stress testing", {39});
+  c.add(T::kDiagnostic, P::kSystemHardware, "Node-level anomaly detection",
+        {17, 26, 47});
+  c.add(T::kDiagnostic, P::kSystemHardware,
+        "System-level root cause analysis", {9});
+  c.add(T::kDiagnostic, P::kSystemHardware,
+        "Diagnosing network contention issues", {19, 55});
+  c.add(T::kDiagnostic, P::kSystemSoftware, "Diagnosing data locality issues",
+        {9});
+  c.add(T::kDiagnostic, P::kSystemSoftware, "Detection of software anomalies",
+        {16, 56});
+  c.add(T::kDiagnostic, P::kSystemSoftware, "Identifying sources of OS noise",
+        {57});
+  c.add(T::kDiagnostic, P::kApplications, "Application fingerprinting",
+        {33, 36});
+  c.add(T::kDiagnostic, P::kApplications, "Identifying performance patterns",
+        {20, 31, 44});
+  c.add(T::kDiagnostic, P::kApplications, "Diagnosing code-level issues",
+        {15, 27});
+
+  // ---- Descriptive row ------------------------------------------------------
+  c.add(T::kDescriptive, P::kBuildingInfrastructure, "PUE calculation", {4});
+  c.add(T::kDescriptive, P::kBuildingInfrastructure,
+        "Facility data processing", {8, 58});
+  c.add(T::kDescriptive, P::kBuildingInfrastructure,
+        "Facility-level dashboards", {1, 7});
+  c.add(T::kDescriptive, P::kSystemHardware, "ITUE calculation", {59});
+  c.add(T::kDescriptive, P::kSystemHardware, "System performance indicators",
+        {14});
+  c.add(T::kDescriptive, P::kSystemHardware, "System-level dashboards", {7, 8});
+  c.add(T::kDescriptive, P::kSystemSoftware, "Slowdown calculation", {60});
+  c.add(T::kDescriptive, P::kSystemSoftware, "Scheduler-level dashboards",
+        {61, 62});
+  c.add(T::kDescriptive, P::kApplications, "Job performance models", {63});
+  c.add(T::kDescriptive, P::kApplications, "Job data processing", {8});
+  c.add(T::kDescriptive, P::kApplications, "Job-level dashboards", {5, 6, 10});
+
+  // ---- Bibliography (works cited in Table I) --------------------------------
+  c.add_reference(1, "Bourassa et al.", "ICPP Workshops", 2019);
+  c.add_reference(4, "Yuventi & Mehdizadeh", "Energy and Buildings", 2013);
+  c.add_reference(5, "Eitzinger et al. (ClusterCockpit)", "CLUSTER", 2019);
+  c.add_reference(6, "Guillen et al. (PerSyst)", "Euro-Par Workshops", 2014);
+  c.add_reference(7, "Bautista et al. (OMNI)", "ICPP Workshops", 2019);
+  c.add_reference(8, "Schwaller et al.", "CLUSTER", 2020);
+  c.add_reference(9, "Demirbaga et al. (AutoDiagn)", "IEEE TC", 2021);
+  c.add_reference(10, "Adhianto et al. (HPCToolkit)", "CCPE", 2010);
+  c.add_reference(11, "Eastep et al. (GEOPM)", "ISC", 2017);
+  c.add_reference(12, "Jiang et al.", "ISCA", 2019);
+  c.add_reference(14, "Hui et al. (LogSCAN)", "FTXS", 2018);
+  c.add_reference(15, "Laguna et al.", "SRDS", 2013);
+  c.add_reference(16, "Tuncer et al.", "IEEE TPDS", 2018);
+  c.add_reference(17, "Borghesi et al.", "EAAI", 2019);
+  c.add_reference(18, "Conficoni et al.", "DATE", 2015);
+  c.add_reference(19, "Grant et al. (OVIS overtime)", "ExaMPI", 2015);
+  c.add_reference(20, "Imes et al.", "ICPP", 2018);
+  c.add_reference(21, "Verma et al.", "ICS", 2008);
+  c.add_reference(22, "Bash & Forman", "USENIX ATC", 2007);
+  c.add_reference(23, "Fan & Lan (DRAS-CQSim)", "Software Impacts", 2021);
+  c.add_reference(24, "Corbalan & Brochard (EAR)", "IPDPS", 2018);
+  c.add_reference(25, "Lin et al.", "IC2E", 2016);
+  c.add_reference(26, "Guan & Fu", "SRDS", 2013);
+  c.add_reference(27, "Shaykhislamov & Voevodin", "Procedia CS", 2018);
+  c.add_reference(28, "Miceli et al. (Autotune)", "PARA", 2012);
+  c.add_reference(29, "Tapus et al. (Active Harmony)", "SC", 2002);
+  c.add_reference(30, "Naghshnejad & Singhal", "CLOUD", 2018);
+  c.add_reference(31, "Emeras et al. (Evalix)", "JSSPP", 2015);
+  c.add_reference(32, "Xue et al. (PRACTISE)", "CNSM", 2015);
+  c.add_reference(33, "Ates et al. (Taxonomist)", "Euro-Par", 2018);
+  c.add_reference(34, "Wyatt et al. (PRIONN)", "ICPP", 2018);
+  c.add_reference(35, "McKenna et al.", "CLUSTER", 2016);
+  c.add_reference(36, "DeMasi et al.", "CLHS", 2013);
+  c.add_reference(37, "Kjaergaard et al.", "SmartGridComm", 2016);
+  c.add_reference(38, "Bodik et al.", "EuroSys", 2010);
+  c.add_reference(39, "Bortot et al.", "ICPP", 2019);
+  c.add_reference(40, "Auweter et al.", "ISC", 2014);
+  c.add_reference(41, "Wu et al. (PowerStack)", "CLUSTER", 2020);
+  c.add_reference(42, "Li et al.", "ISPASS", 2009);
+  c.add_reference(43, "Zheng et al.", "CLUSTER", 2016);
+  c.add_reference(44, "Zhang et al.", "PDPTA", 2012);
+  c.add_reference(45, "Shoukourian & Kranzlmueller", "FGCS", 2020);
+  c.add_reference(46, "Shoukourian et al.", "IPDPS Workshops", 2017);
+  c.add_reference(47, "Netti et al. (CWS)", "IPDPS", 2021);
+  c.add_reference(48, "Sirbu & Babaoglu", "Cluster Computing", 2016);
+  c.add_reference(49, "Galleguillos et al. (AccaSim)", "Cluster Computing", 2020);
+  c.add_reference(50, "Dutot et al. (Batsim)", "JSSPP", 2015);
+  c.add_reference(51, "Klusacek et al. (Alea)", "PPAM", 2019);
+  c.add_reference(52, "Sirbu & Babaoglu", "Euro-Par", 2016);
+  c.add_reference(53, "Matsunaga & Fortes", "CCGrid", 2010);
+  c.add_reference(54, "Todd et al. (AI Ops)", "NREL/HPE TR", 2021);
+  c.add_reference(55, "Jha et al.", "CLUSTER", 2018);
+  c.add_reference(56, "Gustafson (Unum)", "CRC Press", 2017);
+  c.add_reference(57, "Ferreira et al.", "SC", 2008);
+  c.add_reference(58, "Stewart et al.", "ICPP Workshops", 2019);
+  c.add_reference(59, "Patterson et al. (TUE/ITUE)", "ISC", 2013);
+  c.add_reference(60, "Feitelson", "JSSPP", 2001);
+  c.add_reference(61, "Chan", "PEARC", 2019);
+  c.add_reference(62, "Palmer et al. (Open XDMoD)", "CiSE", 2015);
+  c.add_reference(63, "Williams et al. (Roofline)", "CACM", 2009);
+  return c;
+}
+
+std::vector<SurveyUseCase> SurveyCatalog::in_cell(const GridCell& cell) const {
+  std::vector<SurveyUseCase> out;
+  for (const auto& uc : use_cases_) {
+    if (uc.cell == cell) out.push_back(uc);
+  }
+  return out;
+}
+
+std::vector<int> SurveyCatalog::multi_cell_references() const {
+  std::map<int, std::set<GridCell>> cells_per_ref;
+  for (const auto& uc : use_cases_) {
+    for (int r : uc.references) cells_per_ref[r].insert(uc.cell);
+  }
+  std::vector<int> out;
+  for (const auto& [r, cells] : cells_per_ref) {
+    if (cells.size() > 1) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t SurveyCatalog::reference_count() const {
+  std::set<int> refs;
+  for (const auto& uc : use_cases_) {
+    refs.insert(uc.references.begin(), uc.references.end());
+  }
+  return refs.size();
+}
+
+FrameworkGrid SurveyCatalog::to_grid() const {
+  FrameworkGrid grid;
+  std::size_t n = 0;
+  for (const auto& uc : use_cases_) {
+    CapabilityDescriptor d;
+    d.id = "survey." + std::to_string(++n);
+    d.name = uc.description;
+    d.references = uc.references;
+    d.cells = {uc.cell};
+    grid.register_capability(std::move(d));
+  }
+  return grid;
+}
+
+namespace {
+
+std::string refs_suffix(const std::vector<int>& refs) {
+  std::string out = " [";
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(refs[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string SurveyCatalog::render_table1() const {
+  TextTable table({"", "Building Infrastructure", "System Hardware",
+                   "System Software", "Applications"});
+  table.set_title(
+      "TABLE I: A SERIES OF ODA EXAMPLES CATEGORIZED USING OUR FRAMEWORK");
+  for (std::size_t c = 1; c <= 4; ++c) table.set_max_width(c, 28);
+
+  for (auto it = kAllTypes.rbegin(); it != kAllTypes.rend(); ++it) {
+    std::vector<std::string> row{to_string(*it)};
+    for (const auto& pillar : kAllPillars) {
+      std::string cell_text;
+      for (const auto& uc : in_cell({pillar, *it})) {
+        if (!cell_text.empty()) cell_text += "\n";
+        cell_text += "- " + uc.description + refs_suffix(uc.references);
+      }
+      row.push_back(cell_text);
+    }
+    table.add_row(std::move(row));
+    table.add_separator();
+  }
+  return table.render();
+}
+
+std::string SurveyCatalog::render_statistics() const {
+  TextTable table({"analytics type", "building-infra", "sys-hardware",
+                   "sys-software", "applications", "total"});
+  table.set_title("SURVEY STATISTICS (use-case bullets per cell)");
+  for (std::size_t c = 1; c <= 5; ++c) table.set_align(c, Align::kRight);
+
+  std::array<std::size_t, kPillarCount> pillar_totals{};
+  for (auto it = kAllTypes.rbegin(); it != kAllTypes.rend(); ++it) {
+    std::vector<std::string> row{to_string(*it)};
+    std::size_t type_total = 0;
+    for (const auto& pillar : kAllPillars) {
+      const auto n = in_cell({pillar, *it}).size();
+      row.push_back(std::to_string(n));
+      type_total += n;
+      pillar_totals[static_cast<std::size_t>(pillar)] += n;
+    }
+    row.push_back(std::to_string(type_total));
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> totals{"total"};
+  std::size_t grand = 0;
+  for (const auto& pillar : kAllPillars) {
+    totals.push_back(std::to_string(pillar_totals[static_cast<std::size_t>(pillar)]));
+    grand += pillar_totals[static_cast<std::size_t>(pillar)];
+  }
+  totals.push_back(std::to_string(grand));
+  table.add_separator();
+  table.add_row(std::move(totals));
+
+  std::ostringstream out;
+  out << table.render();
+  out << "distinct references cited in Table I: " << reference_count() << "\n";
+  out << "references spanning multiple cells:";
+  for (int r : multi_cell_references()) out << " [" << r << "]";
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace oda::core

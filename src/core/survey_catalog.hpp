@@ -1,0 +1,67 @@
+// Machine-readable encoding of the paper's literature survey: every use
+// case of Table I with its references and grid cell, plus the bibliography
+// metadata needed to render and analyze it. Regenerating Table I from this
+// catalog — through the same FrameworkGrid machinery a user would apply to
+// their own systems — is experiment T1 (see DESIGN.md).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace oda::core {
+
+/// One surveyed work cited by the paper.
+struct SurveyReference {
+  int number = 0;          // the paper's [n]
+  std::string authors;     // first author et al.
+  std::string venue;
+  int year = 0;
+};
+
+/// One use-case bullet of Table I.
+struct SurveyUseCase {
+  std::string description;     // bullet text
+  std::vector<int> references;
+  GridCell cell{};
+};
+
+class SurveyCatalog {
+ public:
+  /// Builds the full catalog exactly as published in Table I.
+  static SurveyCatalog table1();
+
+  const std::vector<SurveyUseCase>& use_cases() const { return use_cases_; }
+  const std::map<int, SurveyReference>& references() const { return refs_; }
+
+  std::vector<SurveyUseCase> in_cell(const GridCell& cell) const;
+  /// References appearing in more than one cell (multi-cell systems such as
+  /// warm-water cooling [12] or PowerStack [41]).
+  std::vector<int> multi_cell_references() const;
+  /// Distinct references cited anywhere in the table.
+  std::size_t reference_count() const;
+
+  /// Loads every use case into a FrameworkGrid (one capability per bullet).
+  FrameworkGrid to_grid() const;
+
+  /// Renders Table I in the paper's layout: prescriptive row on top, one
+  /// bullet per use case with its reference numbers.
+  std::string render_table1() const;
+
+  /// Survey statistics the paper discusses: per-cell counts, per-pillar and
+  /// per-type totals.
+  std::string render_statistics() const;
+
+ private:
+  void add(AnalyticsType type, Pillar pillar, std::string description,
+           std::vector<int> references);
+  void add_reference(int number, std::string authors, std::string venue,
+                     int year);
+
+  std::vector<SurveyUseCase> use_cases_;
+  std::map<int, SurveyReference> refs_;
+};
+
+}  // namespace oda::core

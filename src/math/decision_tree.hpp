@@ -1,0 +1,77 @@
+// CART-style decision tree and a bagged random forest classifier. Supervised
+// counterpart to the isolation forest: application fingerprinting and online
+// performance-variation diagnosis (Tuncer et al. [16]) train these on labeled
+// telemetry features.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace oda::math {
+
+struct LabeledSample {
+  std::vector<double> features;
+  std::size_t label = 0;  // dense class index
+};
+
+class DecisionTree {
+ public:
+  struct Params {
+    std::size_t max_depth = 12;
+    std::size_t min_samples_split = 4;
+    /// Features considered per split; 0 = all (sqrt(d) for forests).
+    std::size_t max_features = 0;
+  };
+
+  static DecisionTree fit(const std::vector<LabeledSample>& data,
+                          std::size_t n_classes, const Params& params, Rng& rng);
+
+  std::size_t predict(std::span<const double> features) const;
+  /// Per-class probability estimate from the reached leaf.
+  std::vector<double> predict_proba(std::span<const double> features) const;
+  std::size_t n_classes() const { return n_classes_; }
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 marks a leaf
+    double threshold = 0.0;
+    std::vector<double> class_probs;  // leaf only
+    std::unique_ptr<Node> left, right;
+  };
+
+  static std::unique_ptr<Node> build(const std::vector<LabeledSample>& data,
+                                     std::vector<std::size_t>& idx,
+                                     std::size_t n_classes, const Params& params,
+                                     std::size_t depth, Rng& rng);
+  static double gini(const std::vector<std::size_t>& counts, std::size_t total);
+
+  std::unique_ptr<Node> root_;
+  std::size_t n_classes_ = 0;
+};
+
+class RandomForest {
+ public:
+  struct Params {
+    std::size_t n_trees = 50;
+    DecisionTree::Params tree;
+  };
+
+  static RandomForest fit(const std::vector<LabeledSample>& data,
+                          std::size_t n_classes, const Params& params, Rng& rng);
+
+  std::size_t predict(std::span<const double> features) const;
+  std::vector<double> predict_proba(std::span<const double> features) const;
+  std::size_t tree_count() const { return trees_.size(); }
+  std::size_t n_classes() const { return n_classes_; }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::size_t n_classes_ = 0;
+};
+
+}  // namespace oda::math

@@ -1,0 +1,83 @@
+#include "math/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace oda::math {
+
+double euclidean_distance(std::span<const double> a, std::span<const double> b) {
+  ODA_REQUIRE(a.size() == b.size(), "distance dim mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double manhattan_distance(std::span<const double> a, std::span<const double> b) {
+  ODA_REQUIRE(a.size() == b.size(), "distance dim mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+double chebyshev_distance(std::span<const double> a, std::span<const double> b) {
+  ODA_REQUIRE(a.size() == b.size(), "distance dim mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = std::max(acc, std::abs(a[i] - b[i]));
+  }
+  return acc;
+}
+
+double cosine_distance(std::span<const double> a, std::span<const double> b) {
+  ODA_REQUIRE(a.size() == b.size(), "distance dim mismatch");
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 1.0;
+  return 1.0 - dot / std::sqrt(na * nb);
+}
+
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    std::size_t band) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return n == m ? 0.0 : std::numeric_limits<double>::infinity();
+
+  const double inf = std::numeric_limits<double>::infinity();
+  // Two-row DP.
+  std::vector<double> prev(m + 1, inf), curr(m + 1, inf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), inf);
+    // Sakoe–Chiba band around the diagonal, scaled to unequal lengths.
+    const double center = static_cast<double>(i) * static_cast<double>(m) /
+                          static_cast<double>(n);
+    std::size_t j_lo = 1, j_hi = m;
+    if (band > 0) {
+      const double lo = center - static_cast<double>(band);
+      const double hi = center + static_cast<double>(band);
+      j_lo = lo > 1.0 ? static_cast<std::size_t>(lo) : 1;
+      j_hi = hi < static_cast<double>(m) ? static_cast<std::size_t>(hi) : m;
+      if (j_lo > j_hi) j_lo = j_hi;
+    }
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = std::abs(a[i - 1] - b[j - 1]);
+      const double best = std::min({prev[j], curr[j - 1], prev[j - 1]});
+      if (best < inf) curr[j] = cost + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+}  // namespace oda::math

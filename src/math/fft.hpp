@@ -1,0 +1,54 @@
+// Fast Fourier transform: iterative radix-2 Cooley–Tukey for power-of-two
+// sizes and Bluestein's chirp-z algorithm for arbitrary sizes. Powers the
+// spectral power-forecaster (the LLNL beyond-the-datacenter use case) and
+// the OS-noise analyzer.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace oda::math {
+
+using Complex = std::complex<double>;
+
+/// In-place radix-2 FFT; size must be a power of two.
+void fft_radix2(std::vector<Complex>& data, bool inverse);
+
+/// FFT of arbitrary size (radix-2 when possible, Bluestein otherwise).
+std::vector<Complex> fft(std::vector<Complex> data);
+std::vector<Complex> ifft(std::vector<Complex> data);
+
+/// Forward FFT of a real signal; returns the full complex spectrum.
+std::vector<Complex> fft_real(std::span<const double> signal);
+
+/// One-sided power spectrum |X_k|²/n for k = 0..n/2.
+std::vector<double> power_spectrum(std::span<const double> signal);
+
+/// Frequency (cycles per sample) of one-sided bin k for an n-point transform.
+double bin_frequency(std::size_t k, std::size_t n);
+
+/// A dominant spectral component extracted from a real signal.
+struct SpectralComponent {
+  double frequency = 0.0;  // cycles per sample
+  double amplitude = 0.0;
+  double phase = 0.0;      // radians
+};
+
+/// The strongest `count` nonzero-frequency components (descending amplitude).
+std::vector<SpectralComponent> dominant_components(std::span<const double> signal,
+                                                   std::size_t count);
+
+/// Reconstructs mean + sum of the given components at sample positions
+/// [0, length); extends beyond the input when length > signal size, which is
+/// how the spectral forecaster extrapolates.
+std::vector<double> synthesize(double mean,
+                               std::span<const SpectralComponent> components,
+                               std::size_t length);
+
+/// Fast cyclic autocorrelation via FFT (biased, normalized by lag-0).
+std::vector<double> fft_autocorrelation(std::span<const double> signal,
+                                        std::size_t max_lag);
+
+}  // namespace oda::math

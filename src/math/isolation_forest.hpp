@@ -1,0 +1,51 @@
+// Isolation forest (Liu, Ting & Zhou 2008): anomaly scoring by how quickly a
+// sample is isolated under random axis-aligned splits. The node-level
+// hardware anomaly detector's strongest unsupervised scorer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace oda::math {
+
+class IsolationForest {
+ public:
+  struct Params {
+    std::size_t n_trees = 100;
+    std::size_t subsample = 256;  // per-tree sample size
+  };
+
+  /// Fits on rows-as-observations data.
+  static IsolationForest fit(const std::vector<std::vector<double>>& data,
+                             const Params& params, Rng& rng);
+
+  /// Anomaly score in (0, 1): >0.6 is suspicious, ~0.5 is average.
+  double score(std::span<const double> sample) const;
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;          // -1 marks a leaf
+    double threshold = 0.0;
+    std::size_t size = 0;      // leaf: samples that landed here
+    std::unique_ptr<Node> left, right;
+  };
+
+  static std::unique_ptr<Node> build_tree(std::vector<std::size_t>& idx,
+                                          const std::vector<std::vector<double>>& data,
+                                          std::size_t depth, std::size_t max_depth,
+                                          Rng& rng);
+  static double path_length(const Node& node, std::span<const double> sample,
+                            std::size_t depth);
+  /// Average unsuccessful-search path length of a BST with n nodes.
+  static double c_factor(std::size_t n);
+
+  std::vector<std::unique_ptr<Node>> trees_;
+  double expected_path_ = 1.0;
+};
+
+}  // namespace oda::math

@@ -1,0 +1,273 @@
+#include "math/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace oda::math {
+
+OptResult1D golden_section(const Objective1D& f, double lo, double hi,
+                           double tol, std::size_t max_iter) {
+  ODA_REQUIRE(lo <= hi, "golden_section bounds inverted");
+  constexpr double kInvPhi = 0.6180339887498949;
+  OptResult1D result;
+  double a = lo, b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c), fd = f(d);
+  result.evaluations = 2;
+  for (std::size_t i = 0; i < max_iter && (b - a) > tol; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+    ++result.evaluations;
+  }
+  result.x = (a + b) / 2.0;
+  result.value = f(result.x);
+  ++result.evaluations;
+  return result;
+}
+
+OptResultND coordinate_descent(const ObjectiveND& f, std::vector<double> x0,
+                               std::vector<double> step, std::size_t max_iter,
+                               double tol) {
+  ODA_REQUIRE(x0.size() == step.size(), "coordinate_descent dim mismatch");
+  OptResultND result;
+  result.x = std::move(x0);
+  result.value = f(result.x);
+  result.evaluations = 1;
+
+  const std::size_t dim = result.x.size();
+  std::vector<double> steps = std::move(step);
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    bool improved = false;
+    for (std::size_t d = 0; d < dim; ++d) {
+      for (const double dir : {+1.0, -1.0}) {
+        std::vector<double> candidate = result.x;
+        candidate[d] += dir * steps[d];
+        const double v = f(candidate);
+        ++result.evaluations;
+        if (v < result.value - tol) {
+          result.value = v;
+          result.x = std::move(candidate);
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) {
+      bool any_large = false;
+      for (double& s : steps) {
+        s *= 0.5;
+        if (s > tol) any_large = true;
+      }
+      if (!any_large) break;
+    }
+  }
+  return result;
+}
+
+OptResultND nelder_mead(const ObjectiveND& f, std::vector<double> x0,
+                        double initial_step, std::size_t max_iter, double tol) {
+  const std::size_t dim = x0.size();
+  ODA_REQUIRE(dim >= 1, "nelder_mead needs at least one dimension");
+  OptResultND result;
+
+  // Initial simplex: x0 plus one offset vertex per dimension.
+  std::vector<std::vector<double>> simplex;
+  simplex.push_back(x0);
+  for (std::size_t d = 0; d < dim; ++d) {
+    auto v = x0;
+    v[d] += initial_step;
+    simplex.push_back(std::move(v));
+  }
+  std::vector<double> values(simplex.size());
+  for (std::size_t i = 0; i < simplex.size(); ++i) {
+    values[i] = f(simplex[i]);
+    ++result.evaluations;
+  }
+
+  constexpr double kAlpha = 1.0, kGamma = 2.0, kRho = 0.5, kSigma = 0.5;
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    // Order vertices by value.
+    std::vector<std::size_t> order(simplex.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[order.size() - 2];
+
+    if (std::abs(values[worst] - values[best]) < tol) break;
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(dim, 0.0);
+    for (std::size_t i : order) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < dim; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(dim);
+
+    const auto blend = [&](double coeff) {
+      std::vector<double> out(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        out[d] = centroid[d] + coeff * (simplex[worst][d] - centroid[d]);
+      }
+      return out;
+    };
+
+    const auto reflected = blend(-kAlpha);
+    const double fr = f(reflected);
+    ++result.evaluations;
+    if (fr < values[best]) {
+      const auto expanded = blend(-kGamma);
+      const double fe = f(expanded);
+      ++result.evaluations;
+      if (fe < fr) {
+        simplex[worst] = expanded;
+        values[worst] = fe;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = fr;
+      }
+    } else if (fr < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = fr;
+    } else {
+      const auto contracted = blend(kRho);
+      const double fc = f(contracted);
+      ++result.evaluations;
+      if (fc < values[worst]) {
+        simplex[worst] = contracted;
+        values[worst] = fc;
+      } else {
+        // Shrink everything toward the best vertex.
+        for (std::size_t i = 0; i < simplex.size(); ++i) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < dim; ++d) {
+            simplex[i][d] = simplex[best][d] + kSigma * (simplex[i][d] - simplex[best][d]);
+          }
+          values[i] = f(simplex[i]);
+          ++result.evaluations;
+        }
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  result.x = simplex[best];
+  result.value = values[best];
+  return result;
+}
+
+OptResultND simulated_annealing(const ObjectiveND& f, std::span<const double> lo,
+                                std::span<const double> hi,
+                                const AnnealParams& params, Rng& rng) {
+  ODA_REQUIRE(lo.size() == hi.size(), "annealing box dim mismatch");
+  const std::size_t dim = lo.size();
+  OptResultND result;
+  result.x.resize(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    ODA_REQUIRE(lo[d] <= hi[d], "annealing box inverted");
+    result.x[d] = rng.uniform(lo[d], hi[d]);
+  }
+  result.value = f(result.x);
+  result.evaluations = 1;
+
+  std::vector<double> current = result.x;
+  double current_value = result.value;
+  double temperature = params.initial_temperature;
+
+  for (std::size_t step = 0; step < params.steps; ++step) {
+    std::vector<double> candidate = current;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double range = (hi[d] - lo[d]) * params.step_fraction;
+      candidate[d] = std::clamp(candidate[d] + rng.normal(0.0, range + 1e-300),
+                                lo[d], hi[d]);
+    }
+    const double v = f(candidate);
+    ++result.evaluations;
+    const double delta = v - current_value;
+    if (delta < 0.0 || rng.uniform() < std::exp(-delta / std::max(temperature, 1e-12))) {
+      current = std::move(candidate);
+      current_value = v;
+      if (current_value < result.value) {
+        result.value = current_value;
+        result.x = current;
+      }
+    }
+    temperature *= params.cooling_rate;
+  }
+  return result;
+}
+
+OptResultND grid_search(const ObjectiveND& f,
+                        const std::vector<std::vector<double>>& levels) {
+  ODA_REQUIRE(!levels.empty(), "grid_search needs dimensions");
+  for (const auto& l : levels) {
+    ODA_REQUIRE(!l.empty(), "grid_search empty level set");
+  }
+  OptResultND result;
+  result.value = std::numeric_limits<double>::infinity();
+
+  std::vector<std::size_t> idx(levels.size(), 0);
+  std::vector<double> point(levels.size());
+  while (true) {
+    for (std::size_t d = 0; d < levels.size(); ++d) point[d] = levels[d][idx[d]];
+    const double v = f(point);
+    ++result.evaluations;
+    if (v < result.value) {
+      result.value = v;
+      result.x = point;
+    }
+    // Odometer increment.
+    std::size_t d = 0;
+    while (d < idx.size()) {
+      if (++idx[d] < levels[d].size()) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == idx.size()) break;
+  }
+  return result;
+}
+
+OptResultND random_search(const ObjectiveND& f, std::span<const double> lo,
+                          std::span<const double> hi, std::size_t samples,
+                          Rng& rng) {
+  ODA_REQUIRE(lo.size() == hi.size(), "random_search box dim mismatch");
+  ODA_REQUIRE(samples > 0, "random_search needs samples");
+  OptResultND result;
+  result.value = std::numeric_limits<double>::infinity();
+  std::vector<double> point(lo.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t d = 0; d < lo.size(); ++d) {
+      point[d] = rng.uniform(lo[d], hi[d]);
+    }
+    const double v = f(point);
+    ++result.evaluations;
+    if (v < result.value) {
+      result.value = v;
+      result.x = point;
+    }
+  }
+  return result;
+}
+
+}  // namespace oda::math

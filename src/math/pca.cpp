@@ -1,0 +1,116 @@
+#include "math/pca.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oda::math {
+
+Pca Pca::fit(const Matrix& data, std::size_t components, bool scale) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  ODA_REQUIRE(n >= 2, "PCA needs at least two observations");
+  ODA_REQUIRE(d >= 1, "PCA needs at least one feature");
+  if (components == 0 || components > d) components = d;
+
+  Pca pca;
+  pca.mean_.assign(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) pca.mean_[c] += data(r, c);
+  }
+  for (double& m : pca.mean_) m /= static_cast<double>(n);
+
+  pca.scale_.assign(d, 1.0);
+  if (scale) {
+    for (std::size_t c = 0; c < d; ++c) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        const double v = data(r, c) - pca.mean_[c];
+        s += v * v;
+      }
+      s = std::sqrt(s / static_cast<double>(n - 1));
+      pca.scale_[c] = s > 1e-12 ? s : 1.0;
+    }
+  }
+
+  // Sample covariance of the standardized data.
+  Matrix cov(d, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double xi = (data(r, i) - pca.mean_[i]) / pca.scale_[i];
+      for (std::size_t j = i; j < d; ++j) {
+        const double xj = (data(r, j) - pca.mean_[j]) / pca.scale_[j];
+        cov(i, j) += xi * xj;
+      }
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov(i, j) *= inv;
+      cov(j, i) = cov(i, j);
+    }
+  }
+
+  const auto eig = jacobi_eigen(cov);
+  pca.total_variance_ = 0.0;
+  for (double v : eig.values) pca.total_variance_ += std::max(v, 0.0);
+
+  pca.components_ = Matrix(d, components);
+  pca.explained_.resize(components);
+  for (std::size_t k = 0; k < components; ++k) {
+    pca.explained_[k] = std::max(eig.values[k], 0.0);
+    for (std::size_t r = 0; r < d; ++r) {
+      pca.components_(r, k) = eig.vectors(r, k);
+    }
+  }
+  return pca;
+}
+
+double Pca::explained_variance_ratio() const {
+  if (total_variance_ <= 0.0) return 1.0;
+  double kept = 0.0;
+  for (double v : explained_) kept += v;
+  return kept / total_variance_;
+}
+
+std::vector<double> Pca::transform(std::span<const double> sample) const {
+  ODA_REQUIRE(sample.size() == input_dim(), "PCA transform dim mismatch");
+  const std::size_t d = input_dim();
+  const std::size_t k = n_components();
+  std::vector<double> out(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      acc += components_(i, j) * (sample[i] - mean_[i]) / scale_[i];
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+std::vector<double> Pca::inverse_transform(std::span<const double> coords) const {
+  ODA_REQUIRE(coords.size() == n_components(), "PCA inverse dim mismatch");
+  const std::size_t d = input_dim();
+  std::vector<double> out(d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < coords.size(); ++j) {
+      acc += components_(i, j) * coords[j];
+    }
+    out[i] = acc * scale_[i] + mean_[i];
+  }
+  return out;
+}
+
+double Pca::reconstruction_error(std::span<const double> sample) const {
+  const auto recon = inverse_transform(transform(sample));
+  double err = 0.0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const double diff = (sample[i] - recon[i]) / scale_[i];
+    err += diff * diff;
+  }
+  return std::sqrt(err);
+}
+
+}  // namespace oda::math

@@ -1,0 +1,45 @@
+// Principal component analysis via Jacobi eigendecomposition of the sample
+// covariance matrix. The diagnostic pillar uses PCA both for dimensionality
+// reduction and as an "autoencoder-lite" anomaly detector: samples that
+// reconstruct poorly from the top-k subspace are anomalous.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace oda::math {
+
+class Pca {
+ public:
+  /// Fits on rows-as-observations data, keeping `components` dimensions
+  /// (0 = keep all). Data is centered (and optionally scaled to unit
+  /// variance) internally.
+  static Pca fit(const Matrix& data, std::size_t components = 0,
+                 bool scale = false);
+
+  std::size_t input_dim() const { return mean_.size(); }
+  std::size_t n_components() const { return components_.cols(); }
+  const std::vector<double>& explained_variance() const { return explained_; }
+  /// Fraction of total variance captured by the kept components.
+  double explained_variance_ratio() const;
+
+  /// Projects a sample into component space.
+  std::vector<double> transform(std::span<const double> sample) const;
+  /// Maps component-space coordinates back to the original space.
+  std::vector<double> inverse_transform(std::span<const double> coords) const;
+  /// L2 distance between a sample and its projection onto the subspace —
+  /// the PCA reconstruction-error anomaly score.
+  double reconstruction_error(std::span<const double> sample) const;
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;      // per-feature std (1.0 when not scaling)
+  Matrix components_;              // input_dim × n_components
+  std::vector<double> explained_;  // per kept component
+  double total_variance_ = 0.0;
+};
+
+}  // namespace oda::math

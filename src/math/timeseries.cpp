@@ -1,0 +1,167 @@
+#include "math/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "math/regression.hpp"
+
+namespace oda::math {
+
+std::vector<double> difference(std::span<const double> xs) {
+  if (xs.size() < 2) return {};
+  std::vector<double> out(xs.size() - 1);
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) out[i] = xs[i + 1] - xs[i];
+  return out;
+}
+
+std::vector<double> seasonal_difference(std::span<const double> xs,
+                                        std::size_t lag) {
+  ODA_REQUIRE(lag > 0, "seasonal lag must be positive");
+  if (xs.size() <= lag) return {};
+  std::vector<double> out(xs.size() - lag);
+  for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+    out[i] = xs[i + lag] - xs[i];
+  }
+  return out;
+}
+
+std::vector<double> detrend(std::span<const double> xs) {
+  const TrendLine t = fit_trend(xs);
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = xs[i] - t.at(static_cast<double>(i));
+  }
+  return out;
+}
+
+std::vector<double> z_normalize(std::span<const double> xs) {
+  const double m = oda::mean(xs);
+  const double s = oda::stddev(xs);
+  std::vector<double> out(xs.size(), 0.0);
+  if (s <= 0.0) return out;
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - m) / s;
+  return out;
+}
+
+std::vector<double> moving_average(std::span<const double> xs, std::size_t window) {
+  ODA_REQUIRE(window > 0, "window must be positive");
+  const std::size_t n = xs.size();
+  std::vector<double> out(n);
+  const std::size_t half = window / 2;
+  double sum = 0.0;
+  std::size_t lo = 0, hi = 0;  // current [lo, hi) window
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t want_lo = i > half ? i - half : 0;
+    const std::size_t want_hi = std::min(n, i + window - half);
+    while (hi < want_hi) sum += xs[hi++];
+    while (lo < want_lo) sum -= xs[lo++];
+    out[i] = sum / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+std::vector<double> trailing_average(std::span<const double> xs,
+                                     std::size_t window) {
+  ODA_REQUIRE(window > 0, "window must be positive");
+  std::vector<double> out(xs.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum += xs[i];
+    if (i >= window) sum -= xs[i - window];
+    out[i] = sum / static_cast<double>(std::min(i + 1, window));
+  }
+  return out;
+}
+
+std::vector<double> acf(std::span<const double> xs, std::size_t max_lag) {
+  std::vector<double> out(max_lag + 1, 0.0);
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    out[lag] = oda::autocorrelation(xs, lag);
+  }
+  return out;
+}
+
+std::size_t detect_period(std::span<const double> xs, std::size_t max_period,
+                          double min_correlation) {
+  if (xs.size() < 4 || max_period < 2) return 0;
+  max_period = std::min(max_period, xs.size() / 2);
+  const auto correlations = acf(xs, max_period);
+  // Find local maxima of the ACF above the threshold; return the first
+  // (shortest period), which is the fundamental rather than a harmonic.
+  std::size_t best = 0;
+  double best_val = min_correlation;
+  for (std::size_t lag = 2; lag < correlations.size(); ++lag) {
+    const double c = correlations[lag];
+    const bool local_max =
+        c >= correlations[lag - 1] &&
+        (lag + 1 >= correlations.size() || c >= correlations[lag + 1]);
+    if (local_max && c > best_val) {
+      best = lag;
+      best_val = c;
+      // First strong local max is the fundamental period.
+      break;
+    }
+  }
+  return best;
+}
+
+Decomposition decompose_additive(std::span<const double> xs, std::size_t period) {
+  ODA_REQUIRE(period >= 2, "decomposition period must be >= 2");
+  ODA_REQUIRE(xs.size() >= 2 * period, "need at least two full periods");
+  const std::size_t n = xs.size();
+  Decomposition d;
+  d.trend = moving_average(xs, period);
+
+  // Seasonal component: mean of detrended values per phase, centered.
+  std::vector<double> phase_sum(period, 0.0);
+  std::vector<std::size_t> phase_count(period, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double detr = xs[i] - d.trend[i];
+    phase_sum[i % period] += detr;
+    ++phase_count[i % period];
+  }
+  std::vector<double> pattern(period, 0.0);
+  double pattern_mean = 0.0;
+  for (std::size_t p = 0; p < period; ++p) {
+    pattern[p] = phase_count[p] ? phase_sum[p] / static_cast<double>(phase_count[p]) : 0.0;
+    pattern_mean += pattern[p];
+  }
+  pattern_mean /= static_cast<double>(period);
+  for (double& p : pattern) p -= pattern_mean;
+
+  d.seasonal.resize(n);
+  d.residual.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.seasonal[i] = pattern[i % period];
+    d.residual[i] = xs[i] - d.trend[i] - d.seasonal[i];
+  }
+  return d;
+}
+
+std::vector<double> paa(std::span<const double> xs, std::size_t segments) {
+  ODA_REQUIRE(segments > 0, "paa needs at least one segment");
+  const std::size_t n = xs.size();
+  std::vector<double> out(segments, 0.0);
+  if (n == 0) return out;
+  for (std::size_t s = 0; s < segments; ++s) {
+    const std::size_t lo = s * n / segments;
+    const std::size_t hi = std::max(lo + 1, (s + 1) * n / segments);
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi && i < n; ++i) sum += xs[i];
+    out[s] = sum / static_cast<double>(std::min(hi, n) - lo);
+  }
+  return out;
+}
+
+std::size_t longest_run_above(std::span<const double> xs, double threshold) {
+  std::size_t best = 0, current = 0;
+  for (double x : xs) {
+    current = x > threshold ? current + 1 : 0;
+    best = std::max(best, current);
+  }
+  return best;
+}
+
+}  // namespace oda::math

@@ -1,0 +1,44 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace oda::sim {
+
+void KnobRegistry::add(KnobDef knob) {
+  ODA_REQUIRE(!contains(knob.path), "duplicate knob path: " + knob.path);
+  knobs_.push_back(std::move(knob));
+}
+
+void KnobRegistry::add_all(KnobProvider& provider) {
+  std::vector<KnobDef> defs;
+  provider.enumerate_knobs(defs);
+  for (auto& d : defs) add(std::move(d));
+}
+
+bool KnobRegistry::contains(const std::string& path) const {
+  return std::any_of(knobs_.begin(), knobs_.end(),
+                     [&](const KnobDef& k) { return k.path == path; });
+}
+
+std::vector<std::string> KnobRegistry::paths() const {
+  std::vector<std::string> out;
+  out.reserve(knobs_.size());
+  for (const auto& k : knobs_) out.push_back(k.path);
+  return out;
+}
+
+const KnobDef& KnobRegistry::at(const std::string& path) const {
+  for (const auto& k : knobs_) {
+    if (k.path == path) return k;
+  }
+  throw ContractError("unknown knob: " + path);
+}
+
+double KnobRegistry::get(const std::string& path) const { return at(path).get(); }
+
+void KnobRegistry::set(const std::string& path, double value) {
+  const KnobDef& k = at(path);
+  k.set(std::clamp(value, k.min_value, k.max_value));
+}
+
+}  // namespace oda::sim

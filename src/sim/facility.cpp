@@ -1,0 +1,138 @@
+#include "sim/facility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oda::sim {
+
+Facility::Facility(const FacilityParams& params)
+    : params_(params),
+      supply_setpoint_(params.supply_setpoint_c),
+      supply_temp_c_(params.supply_setpoint_c),
+      return_temp_c_(params.supply_setpoint_c + 8.0) {}
+
+void Facility::set_supply_setpoint_c(double v) {
+  supply_setpoint_ = std::clamp(v, params_.supply_min_c, params_.supply_max_c);
+}
+
+void Facility::step(double it_power_w, double wetbulb_c, Duration dt) {
+  ODA_REQUIRE(it_power_w >= 0.0, "negative IT power");
+  const double q = it_power_w;  // heat to reject (steady-state)
+
+  // Which path can reach the setpoint? Free cooling needs
+  // wetbulb + approach <= setpoint.
+  const double free_achievable_c = wetbulb_c + params_.tower_approach_k;
+  const bool free_feasible = free_achievable_c <= supply_setpoint_;
+  switch (mode_) {
+    case CoolingMode::kAuto:
+      free_cooling_active_ = free_feasible;
+      break;
+    case CoolingMode::kChillerOnly:
+      free_cooling_active_ = false;
+      break;
+    case CoolingMode::kFreeOnly:
+      free_cooling_active_ = true;
+      break;
+  }
+
+  // Pump power follows the affinity law; degradation wastes power.
+  pump_power_w_ = params_.pump_nominal_w * pump_speed_ * pump_speed_ *
+                  pump_speed_ * pump_degradation_;
+
+  double target_supply = supply_setpoint_;
+  if (free_cooling_active_) {
+    chiller_power_w_ = 0.0;
+    chiller_cop_ = 0.0;
+    tower_power_w_ = params_.tower_fan_fraction * q;
+    // Forced free cooling cannot go below what the tower can deliver.
+    target_supply = std::max(supply_setpoint_, free_achievable_c);
+  } else {
+    const double t_evap = supply_setpoint_ - 2.0;
+    const double t_cond = wetbulb_c + params_.condenser_approach_k;
+    const double lift = std::max(t_cond - t_evap, 1.0);
+    chiller_cop_ = std::clamp(
+        params_.chiller_cop_base - params_.chiller_cop_slope * lift -
+            chiller_fouling_,
+        params_.chiller_cop_min, params_.chiller_cop_max);
+    chiller_power_w_ = q / chiller_cop_;
+    // Condenser heat still goes through the tower.
+    tower_power_w_ = params_.tower_fan_fraction * (q + chiller_power_w_);
+  }
+
+  // Loop thermal inertia: supply temperature relaxes toward the target; a
+  // degraded pump slows the response (less flow).
+  const double tau = params_.loop_time_constant_s * pump_degradation_ /
+                     std::max(pump_speed_, 0.1);
+  const double decay = std::exp(-static_cast<double>(dt) / std::max(tau, 1.0));
+  supply_temp_c_ = target_supply + (supply_temp_c_ - target_supply) * decay;
+
+  // Return temperature from the heat balance: dT = Q / (m_dot * c_p); at
+  // nominal flow the design dT is ~8 K at nominal IT load.
+  const double design_dt = 8.0;
+  const double flow_factor = std::max(pump_speed_, 0.1);
+  return_temp_c_ = supply_temp_c_ +
+                   design_dt * (q / params_.it_nominal_w) / flow_factor;
+
+  // PDU/UPS conversion losses with a low-load efficiency penalty.
+  const double load_frac = std::clamp(it_power_w / params_.it_nominal_w, 0.0, 1.5);
+  const double eta = params_.pdu_efficiency_max -
+                     params_.pdu_low_load_penalty * (1.0 - std::min(load_frac, 1.0)) *
+                         (1.0 - std::min(load_frac, 1.0));
+  pdu_loss_w_ = it_power_w * (1.0 / eta - 1.0);
+
+  facility_power_w_ = it_power_w + pdu_loss_w_ + cooling_power_w() +
+                      params_.misc_overhead_w;
+  pue_ = it_power_w > 1.0 ? facility_power_w_ / it_power_w : 1.0;
+}
+
+void Facility::enumerate_sensors(std::vector<SensorDef>& out) const {
+  const auto add = [&](const char* leaf, const char* unit, auto getter) {
+    out.push_back({std::string("facility/") + leaf, unit, getter});
+  };
+  add("supply_temp", "degC", [this] { return supply_temp_c_; });
+  add("return_temp", "degC", [this] { return return_temp_c_; });
+  add("chiller_power", "W", [this] { return chiller_power_w_; });
+  add("tower_power", "W", [this] { return tower_power_w_; });
+  add("pump_power", "W", [this] { return pump_power_w_; });
+  add("pdu_loss", "W", [this] { return pdu_loss_w_; });
+  add("cooling_power", "W", [this] { return cooling_power_w(); });
+  add("total_power", "W", [this] { return facility_power_w_; });
+  add("pue", "ratio", [this] { return pue_; });
+  add("free_cooling", "bool", [this] { return free_cooling_active_ ? 1.0 : 0.0; });
+  add("chiller_cop", "ratio", [this] { return chiller_cop_; });
+}
+
+void Facility::enumerate_knobs(std::vector<KnobDef>& out) {
+  KnobDef setpoint;
+  setpoint.path = "facility/supply_setpoint";
+  setpoint.unit = "degC";
+  setpoint.min_value = params_.supply_min_c;
+  setpoint.max_value = params_.supply_max_c;
+  setpoint.get = [this] { return supply_setpoint_; };
+  setpoint.set = [this](double v) { set_supply_setpoint_c(v); };
+  out.push_back(std::move(setpoint));
+
+  KnobDef mode;
+  mode.path = "facility/cooling_mode";
+  mode.unit = "enum";  // 0=auto, 1=chiller, 2=free
+  mode.min_value = 0.0;
+  mode.max_value = 2.0;
+  mode.get = [this] { return static_cast<double>(mode_); };
+  mode.set = [this](double v) {
+    mode_ = static_cast<CoolingMode>(std::clamp(static_cast<int>(v + 0.5), 0, 2));
+  };
+  out.push_back(std::move(mode));
+
+  KnobDef pump;
+  pump.path = "facility/pump_speed";
+  pump.unit = "ratio";
+  pump.min_value = 0.4;
+  pump.max_value = 1.3;
+  pump.get = [this] { return pump_speed_; };
+  pump.set = [this](double v) { pump_speed_ = v; };
+  out.push_back(std::move(pump));
+}
+
+}  // namespace oda::sim

@@ -1,0 +1,108 @@
+// Building-infrastructure model: warm-water cooling loop with chiller and
+// free-cooling (cooling tower) paths, circulation pumps, PDU/UPS conversion
+// losses, and facility overhead. Exposes the knobs the prescriptive pillar
+// tunes (supply-temperature setpoint, cooling mode, pump speed) and the
+// sensors the descriptive pillar turns into PUE.
+//
+// Physics is first-order but captures the real trade-offs:
+//  * higher supply setpoint -> more free-cooling hours and better chiller
+//    COP, but hotter nodes -> more leakage and fan power (see Node);
+//  * free cooling is only feasible when the wet-bulb is low enough;
+//  * PDU efficiency sags at low load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace oda::sim {
+
+enum class CoolingMode { kAuto = 0, kChillerOnly = 1, kFreeOnly = 2 };
+
+struct FacilityParams {
+  double supply_setpoint_c = 30.0;   // warm-water default
+  double supply_min_c = 18.0;
+  double supply_max_c = 45.0;
+  /// Tower approach: achievable supply = wetbulb + approach in free mode.
+  double tower_approach_k = 4.0;
+  /// Chiller condenser approach above wet-bulb.
+  double condenser_approach_k = 5.0;
+  double chiller_cop_base = 9.0;
+  double chiller_cop_slope = 0.22;   // COP drop per K of lift
+  double chiller_cop_min = 2.0;
+  double chiller_cop_max = 9.0;
+  /// Tower fan power as a fraction of rejected heat.
+  double tower_fan_fraction = 0.015;
+  double pump_nominal_w = 1100.0;
+  double loop_time_constant_s = 900.0;  // thermal inertia of the water loop
+  double pdu_efficiency_max = 0.965;
+  double pdu_low_load_penalty = 0.06;  // efficiency drop at zero load
+  double misc_overhead_w = 1500.0;     // lighting, security, offices — sized
+                                       // to the 64-node reference system
+  double it_nominal_w = 25000.0;       // design IT load (for PDU load frac)
+};
+
+class Facility : public SensorProvider, public KnobProvider {
+ public:
+  explicit Facility(const FacilityParams& params);
+
+  /// Advances the plant: removes `it_power_w` of heat given the current
+  /// outdoor wet-bulb temperature.
+  void step(double it_power_w, double wetbulb_c, Duration dt);
+
+  double supply_temp_c() const { return supply_temp_c_; }
+  double return_temp_c() const { return return_temp_c_; }
+  double chiller_power_w() const { return chiller_power_w_; }
+  double tower_power_w() const { return tower_power_w_; }
+  double pump_power_w() const { return pump_power_w_; }
+  double pdu_loss_w() const { return pdu_loss_w_; }
+  double cooling_power_w() const {
+    return chiller_power_w_ + tower_power_w_ + pump_power_w_;
+  }
+  double facility_power_w() const { return facility_power_w_; }
+  double pue() const { return pue_; }
+  bool free_cooling_active() const { return free_cooling_active_; }
+  double chiller_cop() const { return chiller_cop_; }
+
+  // Knob state (also exposed via enumerate_knobs).
+  double supply_setpoint_c_knob() const { return supply_setpoint_; }
+  void set_supply_setpoint_c(double v);
+  CoolingMode cooling_mode() const { return mode_; }
+  void set_cooling_mode(CoolingMode m) { mode_ = m; }
+  double pump_speed() const { return pump_speed_; }
+
+  // Fault hooks.
+  void set_pump_degradation(double factor) { pump_degradation_ = factor; }
+  void set_chiller_fouling(double cop_penalty) { chiller_fouling_ = cop_penalty; }
+
+  void enumerate_sensors(std::vector<SensorDef>& out) const override;
+  void enumerate_knobs(std::vector<KnobDef>& out) override;
+
+  const FacilityParams& params() const { return params_; }
+
+ private:
+  FacilityParams params_;
+
+  // Knobs.
+  double supply_setpoint_;
+  CoolingMode mode_ = CoolingMode::kAuto;
+  double pump_speed_ = 1.0;  // [0.4, 1.3] of nominal flow
+
+  // State.
+  double supply_temp_c_;
+  double return_temp_c_;
+  double chiller_power_w_ = 0.0;
+  double tower_power_w_ = 0.0;
+  double pump_power_w_ = 0.0;
+  double pdu_loss_w_ = 0.0;
+  double facility_power_w_ = 0.0;
+  double pue_ = 1.0;
+  double chiller_cop_ = 0.0;
+  bool free_cooling_active_ = false;
+  double pump_degradation_ = 1.0;
+  double chiller_fouling_ = 0.0;
+};
+
+}  // namespace oda::sim

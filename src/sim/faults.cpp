@@ -1,0 +1,113 @@
+#include "sim/faults.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oda::sim {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kSensorStuck: return "sensor-stuck";
+    case FaultKind::kSensorDrift: return "sensor-drift";
+    case FaultKind::kSensorSpike: return "sensor-spike";
+    case FaultKind::kSensorNoise: return "sensor-noise";
+    case FaultKind::kFanFailure: return "fan-failure";
+    case FaultKind::kThermalDegradation: return "thermal-degradation";
+    case FaultKind::kPumpDegradation: return "pump-degradation";
+    case FaultKind::kChillerFouling: return "chiller-fouling";
+    case FaultKind::kNetworkDegradation: return "network-degradation";
+  }
+  return "?";
+}
+
+bool is_sensor_fault(FaultKind k) {
+  switch (k) {
+    case FaultKind::kSensorStuck:
+    case FaultKind::kSensorDrift:
+    case FaultKind::kSensorSpike:
+    case FaultKind::kSensorNoise:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void FaultInjector::schedule(FaultEvent event) {
+  ODA_REQUIRE(event.end > event.start, "fault window must be non-empty");
+  events_.push_back(std::move(event));
+  activated_.push_back(false);
+  stuck_values_.push_back(0.0);
+  stuck_captured_.push_back(false);
+}
+
+void FaultInjector::step(TimePoint prev, TimePoint now) {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    if (is_sensor_fault(e.kind)) continue;
+    const bool should_be_active = e.active_at(now);
+    if (should_be_active && !activated_[i]) {
+      activated_[i] = true;
+      if (hook_) hook_(e, true);
+    } else if (!should_be_active && activated_[i] && now > prev) {
+      activated_[i] = false;
+      if (hook_) hook_(e, false);
+    }
+  }
+}
+
+double FaultInjector::apply_sensor_faults(const std::string& path, double raw,
+                                          TimePoint now, Rng& rng) const {
+  double value = raw;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FaultEvent& e = events_[i];
+    if (!is_sensor_fault(e.kind) || e.target != path) continue;
+    if (!e.active_at(now)) {
+      stuck_captured_[i] = false;  // re-arm for a later window
+      continue;
+    }
+    switch (e.kind) {
+      case FaultKind::kSensorStuck:
+        if (!stuck_captured_[i]) {
+          stuck_values_[i] = value;
+          stuck_captured_[i] = true;
+        }
+        value = stuck_values_[i];
+        break;
+      case FaultKind::kSensorDrift: {
+        const double hours =
+            static_cast<double>(now - e.start) / static_cast<double>(kHour);
+        value += e.magnitude * hours;
+        break;
+      }
+      case FaultKind::kSensorSpike:
+        // ~5% of readings spike while the fault is active.
+        if (rng.bernoulli(0.05)) value += e.magnitude;
+        break;
+      case FaultKind::kSensorNoise:
+        value += rng.normal(0.0, e.magnitude);
+        break;
+      default:
+        break;
+    }
+  }
+  return value;
+}
+
+std::vector<FaultEvent> FaultInjector::active_at(TimePoint t) const {
+  std::vector<FaultEvent> out;
+  for (const auto& e : events_) {
+    if (e.active_at(t)) out.push_back(e);
+  }
+  return out;
+}
+
+bool FaultInjector::any_active_at(TimePoint t,
+                                  const std::string& target_prefix) const {
+  for (const auto& e : events_) {
+    if (e.active_at(t) && e.target.rfind(target_prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace oda::sim

@@ -1,0 +1,83 @@
+// Fault injection with ground truth. Two families:
+//  * sensor faults — applied as an overlay when telemetry is read (the
+//    component keeps operating correctly, only its reading lies);
+//  * component faults — applied to the physical model (fan failure, pump
+//    degradation, ...) so real physical symptoms propagate into telemetry.
+// Every injected fault is recorded with its active window, which is what
+// lets the benchmark harness score diagnostic analytics (precision/recall).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace oda::sim {
+
+enum class FaultKind {
+  // Sensor-level (overlay on readings).
+  kSensorStuck = 0,   // reading frozen at the value when the fault began
+  kSensorDrift,       // reading drifts linearly (magnitude = units/hour)
+  kSensorSpike,       // intermittent large spikes (magnitude = spike size)
+  kSensorNoise,       // extra gaussian noise (magnitude = stddev)
+  // Component-level (physical behaviour changes).
+  kFanFailure,        // target = node path
+  kThermalDegradation,  // target = node path; magnitude = R_th multiplier
+  kPumpDegradation,   // magnitude = power/inertia multiplier
+  kChillerFouling,    // magnitude = COP penalty
+  kNetworkDegradation,  // target = rack index as string; magnitude = capacity factor
+};
+
+const char* fault_kind_name(FaultKind k);
+/// True for the kinds applied as sensor-reading overlays.
+bool is_sensor_fault(FaultKind k);
+
+struct FaultEvent {
+  FaultKind kind{};
+  /// Sensor path for sensor faults; component selector otherwise.
+  std::string target;
+  TimePoint start = 0;
+  TimePoint end = 0;
+  double magnitude = 1.0;
+
+  bool active_at(TimePoint t) const { return t >= start && t < end; }
+};
+
+/// Applies sensor-fault overlays and drives component fault hooks. The
+/// cluster registers one apply/clear callback pair per component-fault kind.
+class FaultInjector {
+ public:
+  using ComponentHook = std::function<void(const FaultEvent&, bool activate)>;
+
+  void schedule(FaultEvent event);
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Registers the handler invoked when a component fault starts/ends.
+  void set_component_hook(ComponentHook hook) { hook_ = std::move(hook); }
+
+  /// Activates/deactivates component faults crossing boundaries in
+  /// (prev, now].
+  void step(TimePoint prev, TimePoint now);
+
+  /// Transforms a raw sensor reading according to the sensor faults active
+  /// at `now` for `path`.
+  double apply_sensor_faults(const std::string& path, double raw,
+                             TimePoint now, Rng& rng) const;
+
+  /// Ground truth: faults of any kind active at `t` (optionally filtered to
+  /// those touching the given path/target).
+  std::vector<FaultEvent> active_at(TimePoint t) const;
+  bool any_active_at(TimePoint t, const std::string& target_prefix) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::vector<bool> activated_;  // component faults currently applied
+  ComponentHook hook_;
+  // Per stuck-fault frozen value, keyed by event index (lazily captured).
+  mutable std::vector<double> stuck_values_;
+  mutable std::vector<bool> stuck_captured_;
+};
+
+}  // namespace oda::sim

@@ -1,0 +1,90 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace oda::sim {
+
+Network::Network(const NetworkParams& params)
+    : params_(params),
+      uplink_load_gbps_(params.racks, 0.0),
+      uplink_degradation_(params.racks, 1.0) {
+  ODA_REQUIRE(params.racks > 0 && params.nodes_per_rack > 0,
+              "network needs racks and nodes");
+}
+
+void Network::begin_step() {
+  std::fill(uplink_load_gbps_.begin(), uplink_load_gbps_.end(), 0.0);
+  job_contention_.clear();
+  job_rack_demand_.clear();
+  total_traffic_gbps_ = 0.0;
+}
+
+void Network::add_job_traffic(std::uint64_t job_id,
+                              const std::vector<std::size_t>& nodes,
+                              double per_node_gbps) {
+  if (nodes.empty() || per_node_gbps <= 0.0) return;
+  per_node_gbps = std::min(per_node_gbps, params_.nic_capacity_gbps);
+
+  // Count the job's nodes per rack.
+  std::map<std::size_t, std::size_t> per_rack;
+  for (std::size_t n : nodes) ++per_rack[rack_of(n)];
+
+  const double total_nodes = static_cast<double>(nodes.size());
+  total_traffic_gbps_ += per_node_gbps * total_nodes;
+  if (per_rack.size() < 2) return;  // intra-rack traffic never hits uplinks
+
+  // Uniform all-to-all: the fraction of a node's traffic leaving its rack is
+  // the fraction of peer nodes outside the rack.
+  for (const auto& [rack, count] : per_rack) {
+    const double k = static_cast<double>(count);
+    const double remote_fraction = (total_nodes - k) / std::max(total_nodes - 1.0, 1.0);
+    const double demand = per_node_gbps * k * remote_fraction;
+    uplink_load_gbps_[rack] += demand;
+    job_rack_demand_[job_id][rack] = demand;
+  }
+}
+
+void Network::finalize_step() {
+  for (const auto& [job_id, racks] : job_rack_demand_) {
+    double factor = 1.0;
+    for (const auto& [rack, demand] : racks) {
+      const double capacity =
+          params_.uplink_capacity_gbps * uplink_degradation_[rack];
+      const double load = uplink_load_gbps_[rack];
+      if (load > capacity && load > 0.0) {
+        factor = std::min(factor, capacity / load);
+      }
+    }
+    job_contention_[job_id] = factor;
+  }
+}
+
+double Network::contention(std::uint64_t job_id) const {
+  const auto it = job_contention_.find(job_id);
+  return it == job_contention_.end() ? 1.0 : it->second;
+}
+
+double Network::uplink_utilization(std::size_t rack) const {
+  ODA_REQUIRE(rack < params_.racks, "rack out of range");
+  const double capacity = params_.uplink_capacity_gbps * uplink_degradation_[rack];
+  return capacity > 0.0 ? uplink_load_gbps_[rack] / capacity : 1.0;
+}
+
+void Network::set_uplink_degradation(std::size_t rack, double factor) {
+  ODA_REQUIRE(rack < params_.racks, "rack out of range");
+  uplink_degradation_[rack] = std::clamp(factor, 0.01, 1.0);
+}
+
+void Network::enumerate_sensors(std::vector<SensorDef>& out) const {
+  for (std::size_t r = 0; r < params_.racks; ++r) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "network/rack%02zu/uplink_util", r);
+    out.push_back({buf, "ratio", [this, r] { return uplink_utilization(r); }});
+  }
+  out.push_back({"network/total_traffic", "Gbps",
+                 [this] { return total_traffic_gbps_; }});
+}
+
+}  // namespace oda::sim

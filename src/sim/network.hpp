@@ -1,0 +1,63 @@
+// Two-level fat-tree-style fabric: one edge switch per rack, uplinks to a
+// single core layer. Per-step link loads are rebuilt from the traffic of
+// running jobs; oversubscribed links slow the jobs crossing them. Link
+// counters feed the network-contention diagnostics ([19],[55]).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace oda::sim {
+
+struct NetworkParams {
+  std::size_t racks = 4;
+  std::size_t nodes_per_rack = 16;
+  double nic_capacity_gbps = 100.0;
+  /// Aggregate uplink capacity per rack (oversubscription = nodes_per_rack *
+  /// nic / uplink).
+  double uplink_capacity_gbps = 800.0;
+};
+
+class Network : public SensorProvider {
+ public:
+  explicit Network(const NetworkParams& params);
+
+  std::size_t node_count() const { return params_.racks * params_.nodes_per_rack; }
+  std::size_t rack_of(std::size_t node) const { return node / params_.nodes_per_rack; }
+
+  /// Clears per-step traffic state.
+  void begin_step();
+  /// Registers a job's traffic: each listed node offers `per_node_gbps`; the
+  /// share crossing the rack boundary loads that rack's uplink.
+  void add_job_traffic(std::uint64_t job_id, const std::vector<std::size_t>& nodes,
+                       double per_node_gbps);
+  /// Computes link utilizations and per-job contention factors.
+  void finalize_step();
+
+  /// Throughput multiplier for the job ([0,1], 1 = no contention). Jobs with
+  /// no registered traffic get 1.
+  double contention(std::uint64_t job_id) const;
+
+  double uplink_utilization(std::size_t rack) const;
+  double total_traffic_gbps() const { return total_traffic_gbps_; }
+
+  /// Fault hook: scales a rack's uplink capacity (e.g. 0.25 = degraded link).
+  void set_uplink_degradation(std::size_t rack, double factor);
+
+  void enumerate_sensors(std::vector<SensorDef>& out) const override;
+
+ private:
+  NetworkParams params_;
+  std::vector<double> uplink_load_gbps_;
+  std::vector<double> uplink_degradation_;
+  std::map<std::uint64_t, double> job_contention_;
+  // Per-job uplink demand recorded during the step: job -> (rack -> gbps).
+  std::map<std::uint64_t, std::map<std::size_t, double>> job_rack_demand_;
+  double total_traffic_gbps_ = 0.0;
+};
+
+}  // namespace oda::sim

@@ -1,0 +1,114 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oda::sim {
+
+Node::Node(std::string path_prefix, const NodeParams& params)
+    : prefix_(std::move(path_prefix)), params_(params),
+      freq_setpoint_ghz_(params.freq_nominal_ghz),
+      effective_freq_ghz_(params.freq_nominal_ghz) {}
+
+void Node::step(const NodeDemand& demand, double inlet_temp_c, Duration dt) {
+  cpu_util_ = demand.busy ? demand.cpu_util : 0.0;
+  mem_bw_util_ = demand.busy ? demand.mem_bw_util : 0.0;
+  net_util_ = demand.busy ? demand.net_util : 0.0;
+  io_util_ = demand.busy ? demand.io_util : 0.0;
+  gpu_util_ = demand.busy ? demand.gpu_util : 0.0;
+  mem_used_gb_ = demand.busy ? std::min(demand.mem_used_gb, params_.memory_capacity_gb)
+                             : 2.0;
+
+  // Thermal throttling: drop to minimum frequency while over the limit.
+  throttled_ = cpu_temp_c_ >= params_.throttle_temp_c;
+  effective_freq_ghz_ = throttled_ ? params_.freq_min_ghz : freq_setpoint_ghz_;
+
+  // Dynamic power: utilization times the DVFS scaling curve.
+  const double f_ratio = effective_freq_ghz_ / params_.freq_max_ghz;
+  const double f_scale = std::pow(f_ratio, params_.freq_power_exponent);
+  const double cpu_dynamic = params_.cpu_max_dynamic_w * cpu_util_ * f_scale;
+  const double gpu_power =
+      params_.has_gpu
+          ? params_.gpu_idle_w + params_.gpu_max_dynamic_w * gpu_util_
+          : 0.0;
+  const double mem_power = params_.mem_max_power_w * mem_bw_util_;
+  const double nic_power = params_.nic_max_power_w * net_util_;
+
+  // Leakage grows with die temperature — this is what makes hot-water
+  // cooling setpoints a genuine trade-off.
+  const double leakage =
+      params_.leakage_w_per_k * std::max(0.0, cpu_temp_c_ - params_.leakage_onset_c);
+
+  // Fan controller: proportional response to the temperature error, with
+  // the failed-fan fault pinning the speed low.
+  if (fan_failed_) {
+    fan_speed_ = 0.12;
+  } else {
+    const double error = cpu_temp_c_ - params_.fan_target_temp_c;
+    const double target = std::clamp(0.3 + 0.06 * error, 0.15, 1.0);
+    // First-order lag so the fan does not chatter.
+    fan_speed_ += std::clamp(target - fan_speed_, -0.2, 0.2);
+  }
+  const double fan_power =
+      params_.fan_max_power_w * fan_speed_ * fan_speed_ * fan_speed_;
+
+  power_w_ = params_.idle_power_w + cpu_dynamic + gpu_power + mem_power +
+             nic_power + leakage + fan_power;
+
+  // Thermal RC update: airflow improves the CPU→inlet thermal resistance.
+  const double airflow_factor = 0.35 + 0.65 * fan_speed_;
+  const double r_th = params_.thermal_resistance_k_per_w * thermal_degradation_ /
+                      airflow_factor;
+  // Heat into the package (CPU dynamic + leakage share).
+  const double package_heat = cpu_dynamic + leakage + 0.3 * mem_power;
+  const double t_steady = inlet_temp_c + package_heat * r_th;
+  const double tau = params_.thermal_capacity_j_per_k * r_th;
+  const double decay = std::exp(-static_cast<double>(dt) / std::max(tau, 1.0));
+  cpu_temp_c_ = t_steady + (cpu_temp_c_ - t_steady) * decay;
+
+  energy_j_ += power_w_ * static_cast<double>(dt);
+
+  // Progress: frequency-sensitive part scales with f/f_nominal; the
+  // memory/IO-bound fraction does not. Network contention stretches the
+  // communication share of the phase.
+  if (demand.busy) {
+    const double f_perf = effective_freq_ghz_ / params_.freq_nominal_ghz;
+    const double b = demand.mem_boundedness;
+    const double freq_factor = (1.0 - b) * f_perf + b;
+    progress_rate_ = freq_factor * std::clamp(demand.contention, 0.05, 1.0);
+  } else {
+    progress_rate_ = 0.0;
+  }
+}
+
+void Node::enumerate_sensors(std::vector<SensorDef>& out) const {
+  const auto add = [&](const char* leaf, const char* unit, auto getter) {
+    out.push_back({prefix_ + "/" + leaf, unit, getter});
+  };
+  add("power", "W", [this] { return power_w_; });
+  add("cpu_temp", "degC", [this] { return cpu_temp_c_; });
+  add("cpu_util", "ratio", [this] { return cpu_util_; });
+  add("mem_bw_util", "ratio", [this] { return mem_bw_util_; });
+  add("net_util", "ratio", [this] { return net_util_; });
+  add("io_util", "ratio", [this] { return io_util_; });
+  add("fan_speed", "ratio", [this] { return fan_speed_; });
+  add("cpu_freq", "GHz", [this] { return effective_freq_ghz_; });
+  add("mem_used", "GB", [this] { return mem_used_gb_; });
+  add("throttled", "bool", [this] { return throttled_ ? 1.0 : 0.0; });
+  if (params_.has_gpu) {
+    add("gpu_util", "ratio", [this] { return gpu_util_; });
+  }
+}
+
+void Node::enumerate_knobs(std::vector<KnobDef>& out) {
+  KnobDef freq;
+  freq.path = prefix_ + "/freq_setpoint";
+  freq.unit = "GHz";
+  freq.min_value = params_.freq_min_ghz;
+  freq.max_value = params_.freq_max_ghz;
+  freq.get = [this] { return freq_setpoint_ghz_; };
+  freq.set = [this](double v) { freq_setpoint_ghz_ = v; };
+  out.push_back(std::move(freq));
+}
+
+}  // namespace oda::sim

@@ -1,0 +1,111 @@
+// Compute-node model: power draw (idle + DVFS-scaled dynamic + temperature-
+// dependent leakage), a first-order thermal RC circuit for the CPU package,
+// a local fan-speed controller, and thermal throttling. The node knows
+// nothing about jobs; the scheduler pushes a resource demand each step and
+// reads back the achieved progress rate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace oda::sim {
+
+struct NodeParams {
+  bool has_gpu = false;
+  double idle_power_w = 110.0;
+  double cpu_max_dynamic_w = 190.0;  // full util at f_max
+  double gpu_idle_w = 25.0;
+  double gpu_max_dynamic_w = 260.0;
+  double mem_max_power_w = 45.0;
+  double nic_max_power_w = 12.0;
+  double fan_max_power_w = 30.0;
+
+  double freq_min_ghz = 1.2;
+  double freq_max_ghz = 3.0;
+  double freq_nominal_ghz = 2.4;
+  /// Dynamic power scales as (f/f_max)^freq_power_exponent.
+  double freq_power_exponent = 2.4;
+
+  double thermal_resistance_k_per_w = 0.16;  // CPU→inlet at nominal airflow
+  double thermal_capacity_j_per_k = 2500.0;
+  double leakage_w_per_k = 1.1;       // above leakage_onset_c
+  double leakage_onset_c = 45.0;
+  double fan_target_temp_c = 72.0;
+  double throttle_temp_c = 88.0;
+  double memory_capacity_gb = 256.0;
+};
+
+/// Resource demand placed on a node for the current step (from the phase of
+/// the job fragment running there).
+struct NodeDemand {
+  double cpu_util = 0.0;
+  double mem_bw_util = 0.0;
+  double net_util = 0.0;
+  double io_util = 0.0;
+  double gpu_util = 0.0;
+  double mem_boundedness = 0.0;
+  /// Multiplier from network contention ([0,1], 1 = unimpeded).
+  double contention = 1.0;
+  double mem_used_gb = 4.0;  // resident memory (leak jobs ramp this)
+  bool busy = false;
+};
+
+class Node : public SensorProvider, public KnobProvider {
+ public:
+  Node(std::string path_prefix, const NodeParams& params);
+
+  /// Applies the demand and advances the physical state by dt seconds.
+  /// `inlet_temp_c` comes from the facility cooling loop.
+  void step(const NodeDemand& demand, double inlet_temp_c, Duration dt);
+
+  // -- state ---------------------------------------------------------------
+  double power_w() const { return power_w_; }
+  double cpu_temp_c() const { return cpu_temp_c_; }
+  double fan_speed() const { return fan_speed_; }  // [0,1]
+  double frequency_ghz() const { return effective_freq_ghz_; }
+  bool throttled() const { return throttled_; }
+  double energy_j() const { return energy_j_; }
+  /// Work progress per wall-clock second for the current demand: 1.0 means
+  /// nominal speed. Scheduler multiplies by dt to advance job progress.
+  double progress_rate() const { return progress_rate_; }
+  const std::string& path() const { return prefix_; }
+  const NodeParams& params() const { return params_; }
+
+  // -- degradation hooks for fault injection --------------------------------
+  void set_fan_failed(bool failed) { fan_failed_ = failed; }
+  bool fan_failed() const { return fan_failed_; }
+  /// Multiplies thermal resistance (e.g. 1.6 = degraded thermal interface).
+  void set_thermal_degradation(double factor) { thermal_degradation_ = factor; }
+
+  void enumerate_sensors(std::vector<SensorDef>& out) const override;
+  void enumerate_knobs(std::vector<KnobDef>& out) override;
+
+ private:
+  std::string prefix_;
+  NodeParams params_;
+
+  // Knobs.
+  double freq_setpoint_ghz_;
+
+  // State.
+  double cpu_temp_c_ = 35.0;
+  double fan_speed_ = 0.3;
+  double power_w_ = 0.0;
+  double effective_freq_ghz_;
+  double progress_rate_ = 0.0;
+  double energy_j_ = 0.0;
+  double mem_used_gb_ = 2.0;
+  double cpu_util_ = 0.0;
+  double mem_bw_util_ = 0.0;
+  double net_util_ = 0.0;
+  double io_util_ = 0.0;
+  double gpu_util_ = 0.0;
+  bool throttled_ = false;
+  bool fan_failed_ = false;
+  double thermal_degradation_ = 1.0;
+};
+
+}  // namespace oda::sim

@@ -1,0 +1,183 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace oda::sim {
+
+const JobPhase& RunningJob::current_phase() const {
+  ODA_REQUIRE(!spec.phases.empty(), "job without phases");
+  double cumulative = 0.0;
+  for (const auto& phase : spec.phases) {
+    cumulative += static_cast<double>(phase.nominal_duration);
+    if (progress_s < cumulative) return phase;
+  }
+  return spec.phases.back();
+}
+
+double RunningJob::mem_used_gb(TimePoint now) const {
+  const double base = 4.0 + 2.0 * static_cast<double>(spec.nodes_requested);
+  if (spec.job_class != JobClass::kMemoryLeak) return base;
+  // Leak: ~1.5 GB/minute of wall-clock, unbounded until OOM.
+  const double elapsed = static_cast<double>(now - start_time);
+  return base + elapsed * (1.5 / 60.0);
+}
+
+std::optional<std::vector<std::size_t>> FirstFitPlacement::place(
+    const JobSpec& spec, const std::vector<bool>& node_busy) {
+  std::vector<std::size_t> chosen;
+  for (std::size_t i = 0; i < node_busy.size() && chosen.size() < spec.nodes_requested;
+       ++i) {
+    if (!node_busy[i]) chosen.push_back(i);
+  }
+  if (chosen.size() < spec.nodes_requested) return std::nullopt;
+  return chosen;
+}
+
+Scheduler::Scheduler(std::size_t node_count, const SchedulerParams& params)
+    : params_(params),
+      placement_(std::make_shared<FirstFitPlacement>()),
+      node_busy_(node_count, false) {
+  ODA_REQUIRE(node_count > 0, "scheduler needs nodes");
+}
+
+void Scheduler::set_placement(std::shared_ptr<PlacementPolicy> placement) {
+  ODA_REQUIRE(placement != nullptr, "null placement policy");
+  placement_ = std::move(placement);
+}
+
+void Scheduler::submit(JobSpec spec) {
+  ODA_REQUIRE(spec.nodes_requested <= node_busy_.size(),
+              "job larger than the machine");
+  queue_.push_back(std::move(spec));
+}
+
+std::size_t Scheduler::free_node_count() const {
+  return static_cast<std::size_t>(
+      std::count(node_busy_.begin(), node_busy_.end(), false));
+}
+
+bool Scheduler::try_start(const JobSpec& spec, TimePoint now) {
+  auto nodes = placement_->place(spec, node_busy_);
+  if (!nodes) return false;
+  ODA_REQUIRE(nodes->size() == spec.nodes_requested,
+              "placement returned wrong node count");
+  RunningJob job;
+  job.spec = spec;
+  job.start_time = now;
+  job.nodes = std::move(*nodes);
+  for (std::size_t n : job.nodes) {
+    ODA_REQUIRE(!node_busy_[n], "placement chose a busy node");
+    node_busy_[n] = true;
+  }
+  running_.push_back(std::move(job));
+  return true;
+}
+
+TimePoint Scheduler::shadow_time(const JobSpec& head, TimePoint now) const {
+  // Sort running jobs by their hard end bound (start + walltime request).
+  std::vector<std::pair<TimePoint, std::size_t>> releases;
+  releases.reserve(running_.size());
+  for (const auto& job : running_) {
+    releases.push_back({job.start_time + job.spec.walltime_requested,
+                        job.nodes.size()});
+  }
+  std::sort(releases.begin(), releases.end());
+  std::size_t free_nodes = free_node_count();
+  for (const auto& [at, count] : releases) {
+    free_nodes += count;
+    if (free_nodes >= head.nodes_requested) return std::max(at, now);
+  }
+  return kTimeMax;  // cannot ever start (should not happen: job fits machine)
+}
+
+void Scheduler::schedule(TimePoint now) {
+  // Start jobs from the queue head while they fit.
+  while (!queue_.empty() && try_start(queue_.front(), now)) {
+    queue_.pop_front();
+  }
+  if (queue_.empty() || params_.discipline == QueueDiscipline::kFcfs) return;
+
+  // EASY backfill: the head job gets a reservation; later jobs may jump the
+  // queue only if they terminate (per their walltime request) before the
+  // reservation, so the head job is never delayed.
+  const TimePoint reservation = shadow_time(queue_.front(), now);
+  for (auto it = queue_.begin() + 1; it != queue_.end();) {
+    const bool fits_before_shadow =
+        now + it->walltime_requested <= reservation;
+    // A job that fits in the nodes left over even at the shadow time would
+    // also be safe, but the simple time-based condition is the classic EASY
+    // rule and is what we implement.
+    if (fits_before_shadow && try_start(*it, now)) {
+      ++backfilled_count_;
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Scheduler::advance_job(std::uint64_t job_id, double work_s, double energy_j) {
+  for (auto& job : running_) {
+    if (job.spec.id == job_id) {
+      job.progress_s += work_s;
+      job.energy_j += energy_j;
+      return;
+    }
+  }
+  throw ContractError("advance_job: unknown job id");
+}
+
+std::vector<JobRecord> Scheduler::reap(TimePoint now,
+                                       double node_memory_capacity_gb) {
+  std::vector<JobRecord> reaped;
+  for (auto it = running_.begin(); it != running_.end();) {
+    const RunningJob& job = *it;
+    std::optional<JobOutcome> outcome;
+    if (job.progress_s >= static_cast<double>(job.spec.nominal_duration())) {
+      outcome = JobOutcome::kFinished;
+    } else if (now - job.start_time >=
+               static_cast<Duration>(static_cast<double>(job.spec.walltime_requested) *
+                                     params_.walltime_grace)) {
+      outcome = JobOutcome::kKilledWalltime;
+    } else if (job.mem_used_gb(now) >= node_memory_capacity_gb) {
+      outcome = JobOutcome::kFailedOom;
+    }
+    if (!outcome) {
+      ++it;
+      continue;
+    }
+    JobRecord record;
+    record.spec = job.spec;
+    record.start_time = job.start_time;
+    record.end_time = now;
+    record.nodes = job.nodes;
+    record.energy_j = job.energy_j;
+    record.outcome = *outcome;
+    for (std::size_t n : job.nodes) node_busy_[n] = false;
+    reaped.push_back(record);
+    completed_.push_back(std::move(record));
+    it = running_.erase(it);
+  }
+  return reaped;
+}
+
+void Scheduler::enumerate_sensors(std::vector<SensorDef>& out) const {
+  out.push_back({"scheduler/queue_length", "jobs",
+                 [this] { return static_cast<double>(queue_.size()); }});
+  out.push_back({"scheduler/running_jobs", "jobs",
+                 [this] { return static_cast<double>(running_.size()); }});
+  out.push_back({"scheduler/free_nodes", "nodes",
+                 [this] { return static_cast<double>(free_node_count()); }});
+  out.push_back({"scheduler/utilization", "ratio", [this] {
+                   const double total = static_cast<double>(node_busy_.size());
+                   return (total - static_cast<double>(free_node_count())) / total;
+                 }});
+  out.push_back({"scheduler/backfilled_total", "jobs",
+                 [this] { return static_cast<double>(backfilled_count_); }});
+  out.push_back({"scheduler/completed_total", "jobs",
+                 [this] { return static_cast<double>(completed_.size()); }});
+}
+
+}  // namespace oda::sim

@@ -1,0 +1,123 @@
+// Batch scheduler: job queue with FCFS or EASY-backfill discipline and a
+// pluggable placement policy (which nodes a starting job gets). Placement is
+// the hook the prescriptive pillar uses for power/thermal-aware scheduling.
+//
+// Job lifecycle: submitted → queued → running → completed
+// (finished | killed_walltime | failed_oom).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/workload.hpp"
+
+namespace oda::sim {
+
+enum class QueueDiscipline { kFcfs, kEasyBackfill };
+
+enum class JobOutcome { kFinished, kKilledWalltime, kFailedOom };
+
+struct RunningJob {
+  JobSpec spec;
+  TimePoint start_time = 0;
+  std::vector<std::size_t> nodes;
+  double progress_s = 0.0;  // nominal work completed (seconds)
+  double energy_j = 0.0;
+
+  /// Phase active at the current progress point.
+  const JobPhase& current_phase() const;
+  /// Resident memory for leak-class jobs grows linearly with elapsed time.
+  double mem_used_gb(TimePoint now) const;
+};
+
+struct JobRecord {
+  JobSpec spec;
+  TimePoint start_time = 0;
+  TimePoint end_time = 0;
+  std::vector<std::size_t> nodes;
+  double energy_j = 0.0;
+  JobOutcome outcome = JobOutcome::kFinished;
+
+  Duration wait_time() const { return start_time - spec.submit_time; }
+  Duration run_time() const { return end_time - start_time; }
+};
+
+/// A placement decision: which free nodes the job should occupy. Returning
+/// nullopt means "cannot place now". Implementations must return exactly
+/// spec.nodes_requested distinct free node indices.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual std::optional<std::vector<std::size_t>> place(
+      const JobSpec& spec, const std::vector<bool>& node_busy) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// First-fit: lowest-index free nodes. The baseline against which the
+/// prescriptive placement policies are compared.
+class FirstFitPlacement : public PlacementPolicy {
+ public:
+  std::optional<std::vector<std::size_t>> place(
+      const JobSpec& spec, const std::vector<bool>& node_busy) override;
+  const char* name() const override { return "first-fit"; }
+};
+
+struct SchedulerParams {
+  QueueDiscipline discipline = QueueDiscipline::kEasyBackfill;
+  /// Jobs whose wall clock exceeds their request by this factor are killed
+  /// (1.0 = strict enforcement, as on production systems).
+  double walltime_grace = 1.0;
+};
+
+class Scheduler : public SensorProvider {
+ public:
+  Scheduler(std::size_t node_count, const SchedulerParams& params);
+
+  void set_placement(std::shared_ptr<PlacementPolicy> placement);
+  PlacementPolicy& placement() { return *placement_; }
+
+  void submit(JobSpec spec);
+  /// Starts queued jobs onto free nodes per the discipline + placement.
+  void schedule(TimePoint now);
+
+  /// Advances a running job by `work_s` nominal seconds and `energy_j`
+  /// joules; called by the cluster once per step per job.
+  void advance_job(std::uint64_t job_id, double work_s, double energy_j);
+
+  /// Retires jobs that finished / blew their walltime / OOMed during the
+  /// step ending at `now`. Returns records of the jobs retired this call.
+  std::vector<JobRecord> reap(TimePoint now, double node_memory_capacity_gb);
+
+  const std::deque<JobSpec>& queue() const { return queue_; }
+  const std::vector<RunningJob>& running() const { return running_; }
+  std::vector<RunningJob>& running_mutable() { return running_; }
+  const std::vector<JobRecord>& completed() const { return completed_; }
+  const std::vector<bool>& node_busy() const { return node_busy_; }
+
+  std::size_t free_node_count() const;
+  std::size_t node_count() const { return node_busy_.size(); }
+
+  void enumerate_sensors(std::vector<SensorDef>& out) const override;
+
+ private:
+  bool try_start(const JobSpec& spec, TimePoint now);
+  /// EASY reservation: earliest time the head job could start, assuming
+  /// running jobs end exactly at their walltime limit.
+  TimePoint shadow_time(const JobSpec& head, TimePoint now) const;
+
+  SchedulerParams params_;
+  std::shared_ptr<PlacementPolicy> placement_;
+  std::vector<bool> node_busy_;
+  std::deque<JobSpec> queue_;
+  std::vector<RunningJob> running_;
+  std::vector<JobRecord> completed_;
+  std::size_t backfilled_count_ = 0;
+};
+
+}  // namespace oda::sim

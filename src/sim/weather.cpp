@@ -1,0 +1,40 @@
+#include "sim/weather.hpp"
+
+#include <cmath>
+
+namespace oda::sim {
+
+Weather::Weather(const WeatherParams& params, Rng rng)
+    : params_(params), rng_(rng) {
+  step(0, 0);
+}
+
+void Weather::step(TimePoint now, Duration dt) {
+  // AR(1) front noise; persistence is per-step but steps are fixed-size so
+  // the correlation time is stable for a given configuration.
+  if (dt > 0) {
+    front_ = params_.front_persistence * front_ +
+             std::sqrt(1.0 - params_.front_persistence * params_.front_persistence) *
+                 rng_.normal(0.0, params_.front_stddev);
+  }
+  const double day_frac =
+      static_cast<double>((now % kDay)) / static_cast<double>(kDay);
+  const double year_frac =
+      static_cast<double>((now + params_.season_phase) % (365 * kDay)) /
+      static_cast<double>(365 * kDay);
+  // Peak heat at ~15:00 local and mid-summer.
+  const double diurnal =
+      params_.diurnal_amplitude * std::cos(2.0 * M_PI * (day_frac - 0.625));
+  const double seasonal =
+      params_.seasonal_amplitude * std::cos(2.0 * M_PI * (year_frac - 0.55));
+  drybulb_ = params_.mean_temp_c + seasonal + diurnal + front_;
+  // Wet-bulb tracks dry-bulb with a damped swing (humidity buffering).
+  wetbulb_ = drybulb_ - params_.wetbulb_depression - 0.15 * diurnal;
+}
+
+void Weather::enumerate_sensors(std::vector<SensorDef>& out) const {
+  out.push_back({"weather/drybulb_temp", "degC", [this] { return drybulb_; }});
+  out.push_back({"weather/wetbulb_temp", "degC", [this] { return wetbulb_; }});
+}
+
+}  // namespace oda::sim

@@ -1,0 +1,44 @@
+// Outdoor weather model: dry-bulb and wet-bulb temperatures with diurnal and
+// seasonal cycles plus slow AR(1) weather-front noise. The cooling plant's
+// free-cooling economics depend on the wet-bulb trace, so its shape (daily
+// swing, multi-day fronts) is what matters, not meteorological fidelity.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace oda::sim {
+
+struct WeatherParams {
+  double mean_temp_c = 14.0;        // annual mean dry-bulb
+  double seasonal_amplitude = 9.0;  // summer/winter swing
+  double diurnal_amplitude = 5.0;   // day/night swing
+  double front_stddev = 2.5;        // AR(1) noise scale (weather fronts)
+  double front_persistence = 0.9995;  // AR(1) coefficient per step
+  double wetbulb_depression = 4.0;  // mean dry-bulb minus wet-bulb
+  TimePoint season_phase = 15 * kDay;  // sim epoch offset into the year
+};
+
+class Weather : public SensorProvider {
+ public:
+  Weather(const WeatherParams& params, Rng rng);
+
+  void step(TimePoint now, Duration dt);
+
+  double drybulb_c() const { return drybulb_; }
+  double wetbulb_c() const { return wetbulb_; }
+
+  void enumerate_sensors(std::vector<SensorDef>& out) const override;
+
+ private:
+  WeatherParams params_;
+  Rng rng_;
+  double front_ = 0.0;
+  double drybulb_ = 0.0;
+  double wetbulb_ = 0.0;
+};
+
+}  // namespace oda::sim

@@ -1,0 +1,257 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oda::sim {
+
+const char* job_class_name(JobClass c) {
+  switch (c) {
+    case JobClass::kComputeBound: return "compute";
+    case JobClass::kMemoryBound: return "memory";
+    case JobClass::kNetworkBound: return "network";
+    case JobClass::kIoBound: return "io";
+    case JobClass::kGpuCompute: return "gpu";
+    case JobClass::kCryptoMiner: return "miner";
+    case JobClass::kMemoryLeak: return "leak";
+    case JobClass::kCount: break;
+  }
+  return "?";
+}
+
+Duration JobSpec::nominal_duration() const {
+  Duration total = 0;
+  for (const auto& p : phases) total += p.nominal_duration;
+  return total;
+}
+
+namespace {
+
+JobPhase base_phase(JobClass c, Rng& rng) {
+  JobPhase p;
+  const auto jitter = [&rng](double v, double rel) {
+    return std::clamp(v * (1.0 + rng.normal(0.0, rel)), 0.02, 1.0);
+  };
+  switch (c) {
+    case JobClass::kComputeBound:
+      p.cpu_util = jitter(0.92, 0.05);
+      p.mem_bw_util = jitter(0.25, 0.2);
+      p.net_util = jitter(0.1, 0.3);
+      p.io_util = 0.02;
+      p.mem_boundedness = rng.uniform(0.05, 0.2);
+      break;
+    case JobClass::kMemoryBound:
+      p.cpu_util = jitter(0.65, 0.1);
+      p.mem_bw_util = jitter(0.9, 0.05);
+      p.net_util = jitter(0.15, 0.3);
+      p.io_util = 0.03;
+      p.mem_boundedness = rng.uniform(0.55, 0.85);
+      break;
+    case JobClass::kNetworkBound:
+      p.cpu_util = jitter(0.55, 0.1);
+      p.mem_bw_util = jitter(0.35, 0.2);
+      p.net_util = jitter(0.85, 0.1);
+      p.io_util = 0.05;
+      p.mem_boundedness = rng.uniform(0.3, 0.5);
+      break;
+    case JobClass::kIoBound:
+      p.cpu_util = jitter(0.3, 0.15);
+      p.mem_bw_util = jitter(0.2, 0.2);
+      p.net_util = jitter(0.3, 0.2);
+      p.io_util = jitter(0.85, 0.1);
+      p.mem_boundedness = rng.uniform(0.6, 0.9);
+      break;
+    case JobClass::kGpuCompute:
+      p.cpu_util = jitter(0.35, 0.15);
+      p.gpu_util = jitter(0.9, 0.05);
+      p.mem_bw_util = jitter(0.4, 0.15);
+      p.net_util = jitter(0.2, 0.3);
+      p.io_util = 0.04;
+      p.mem_boundedness = rng.uniform(0.4, 0.7);
+      break;
+    case JobClass::kCryptoMiner:
+      // The miner signature: pegged CPU, almost no memory/network/IO
+      // activity, and no phase structure.
+      p.cpu_util = jitter(0.99, 0.005);
+      p.mem_bw_util = jitter(0.06, 0.1);
+      p.net_util = 0.01;
+      p.io_util = 0.005;
+      p.mem_boundedness = 0.02;
+      break;
+    case JobClass::kMemoryLeak:
+      // Starts like a compute job; the leak itself is modelled by the node
+      // (resident memory ramps until the job dies or finishes).
+      p.cpu_util = jitter(0.8, 0.1);
+      p.mem_bw_util = jitter(0.45, 0.15);
+      p.net_util = jitter(0.1, 0.3);
+      p.io_util = 0.03;
+      p.mem_boundedness = rng.uniform(0.3, 0.5);
+      break;
+    case JobClass::kCount:
+      break;
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<JobPhase> WorkloadGenerator::make_phases(JobClass c, Duration total,
+                                                     Rng& rng) {
+  std::vector<JobPhase> phases;
+  // Real applications alternate compute/communication/IO phases; miners do
+  // not — a structural difference the fingerprinting diagnostics exploit.
+  std::size_t n_phases = 1;
+  if (c != JobClass::kCryptoMiner) {
+    n_phases = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  }
+  // Split the total duration with random weights.
+  std::vector<double> weights(n_phases);
+  double wsum = 0.0;
+  for (auto& w : weights) {
+    w = rng.uniform(0.5, 1.5);
+    wsum += w;
+  }
+  Duration assigned = 0;
+  for (std::size_t i = 0; i < n_phases; ++i) {
+    JobPhase p = base_phase(c, rng);
+    if (i + 1 == n_phases) {
+      p.nominal_duration = total - assigned;
+    } else {
+      p.nominal_duration =
+          std::max<Duration>(1, static_cast<Duration>(
+                                    static_cast<double>(total) * weights[i] / wsum));
+    }
+    assigned += p.nominal_duration;
+    // Phase-to-phase variation: alternate between "work" and "exchange"
+    // flavours for network/IO-heavy codes.
+    if (n_phases > 1 && i % 2 == 1 && c != JobClass::kCryptoMiner) {
+      p.net_util = std::min(1.0, p.net_util * 1.8 + 0.1);
+      p.cpu_util *= 0.6;
+    }
+    phases.push_back(p);
+    if (assigned >= total) break;
+  }
+  return phases;
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadParams& params)
+    : params_(params), rng_(params.seed) {
+  ODA_REQUIRE(params.user_count > 0, "workload needs users");
+  ODA_REQUIRE(params.max_duration >= params.min_duration, "duration range inverted");
+  const std::size_t n_classes = static_cast<std::size_t>(JobClass::kCount);
+
+  for (std::size_t u = 0; u < params.user_count; ++u) {
+    UserProfile profile;
+    profile.name = "user" + std::to_string(100 + u);
+    // Each user favours 1-2 job classes (domain scientists run the same
+    // codes over and over), never the anomalous classes.
+    profile.class_weights.assign(n_classes, 0.05);
+    profile.class_weights[static_cast<std::size_t>(JobClass::kCryptoMiner)] = 0.0;
+    profile.class_weights[static_cast<std::size_t>(JobClass::kMemoryLeak)] = 0.0;
+    const auto favourite = static_cast<std::size_t>(rng_.uniform_int(0, 4));
+    profile.class_weights[favourite] += 1.0;
+    if (rng_.bernoulli(0.4)) {
+      const auto second = static_cast<std::size_t>(rng_.uniform_int(0, 4));
+      profile.class_weights[second] += 0.5;
+    }
+    profile.typical_nodes = rng_.uniform(1.0, static_cast<double>(
+                                                  std::max<std::size_t>(
+                                                      2, params.max_nodes_per_job / 2)));
+    const double dur_lo = static_cast<double>(params.min_duration);
+    const double dur_hi = std::max(static_cast<double>(params.max_duration) * 0.4,
+                                   dur_lo * 1.01);
+    profile.typical_duration_s = rng_.uniform(dur_lo, dur_hi);
+    profile.walltime_overestimate = rng_.uniform(1.2, 6.0);
+    users_.push_back(std::move(profile));
+  }
+}
+
+double WorkloadGenerator::arrival_rate_per_second(TimePoint now) const {
+  const double day_frac =
+      static_cast<double>(now % kDay) / static_cast<double>(kDay);
+  // Submissions peak mid-afternoon, trough overnight: 0.35 + 0.65 * bump.
+  const double bump = 0.5 * (1.0 + std::cos(2.0 * M_PI * (day_frac - 0.58)));
+  const double modulation = 0.35 + 0.65 * bump;
+  return params_.peak_arrival_rate_per_hour * modulation / 3600.0;
+}
+
+JobSpec WorkloadGenerator::make_job(TimePoint submit) {
+  JobSpec job;
+  job.id = next_id_++;
+  job.submit_time = submit;
+
+  // Anomalous jobs are injected independently of the user population.
+  const double anomaly_roll = rng_.uniform();
+  if (anomaly_roll < params_.miner_fraction) {
+    job.job_class = JobClass::kCryptoMiner;
+  } else if (anomaly_roll < params_.miner_fraction + params_.leak_fraction) {
+    job.job_class = JobClass::kMemoryLeak;
+  }
+
+  const auto user_idx = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(users_.size()) - 1));
+  const UserProfile& user = users_[user_idx];
+  job.user = user.name;
+
+  if (job.job_class != JobClass::kCryptoMiner &&
+      job.job_class != JobClass::kMemoryLeak) {
+    job.job_class = static_cast<JobClass>(rng_.categorical(user.class_weights));
+  }
+
+  // Size: lognormal around the user's typical scale, clamped to limits.
+  const double nodes = rng_.lognormal(std::log(user.typical_nodes), 0.6);
+  job.nodes_requested = std::clamp<std::size_t>(
+      static_cast<std::size_t>(nodes + 0.5), 1, params_.max_nodes_per_job);
+  if (job.job_class == JobClass::kCryptoMiner) job.nodes_requested = 1;
+
+  const double duration = rng_.lognormal(std::log(user.typical_duration_s), 0.8);
+  const auto nominal = std::clamp<Duration>(
+      static_cast<Duration>(duration), params_.min_duration, params_.max_duration);
+
+  job.phases = make_phases(job.job_class, nominal, rng_);
+
+  // Users overestimate walltime by a stable per-user factor with noise.
+  const double request = static_cast<double>(nominal) *
+                         user.walltime_overestimate *
+                         std::exp(rng_.normal(0.0, 0.15));
+  job.walltime_requested = std::max<Duration>(
+      static_cast<Duration>(request), nominal + kMinute);
+
+  job.queue = job.nodes_requested <= 2      ? "small"
+              : job.nodes_requested <= 8    ? "medium"
+                                            : "large";
+  return job;
+}
+
+std::vector<JobSpec> WorkloadGenerator::generate(TimePoint now, Duration dt) {
+  std::vector<JobSpec> out;
+  // Thinned Poisson process: expected arrivals this step, carrying the
+  // fractional remainder so low rates still produce jobs eventually.
+  arrival_carry_ += arrival_rate_per_second(now) * static_cast<double>(dt);
+  const auto n = rng_.poisson(arrival_carry_);
+  arrival_carry_ = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const TimePoint submit = now + rng_.uniform_int(0, std::max<Duration>(dt - 1, 0));
+    out.push_back(make_job(submit));
+  }
+  std::sort(out.begin(), out.end(), [](const JobSpec& a, const JobSpec& b) {
+    return a.submit_time < b.submit_time;
+  });
+  return out;
+}
+
+std::vector<JobSpec> WorkloadGenerator::generate_trace(std::size_t count) {
+  std::vector<JobSpec> out;
+  out.reserve(count);
+  TimePoint t = 0;
+  while (out.size() < count) {
+    const double rate = arrival_rate_per_second(t);
+    t += std::max<Duration>(1, static_cast<Duration>(rng_.exponential(rate)));
+    out.push_back(make_job(t));
+  }
+  return out;
+}
+
+}  // namespace oda::sim

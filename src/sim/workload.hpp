@@ -1,0 +1,113 @@
+// Synthetic HPC workload: job classes with distinct telemetry signatures,
+// multi-phase execution profiles, a user population with realistic
+// walltime-request overestimation, and a diurnal arrival process.
+//
+// Ground truth (true class, true nominal duration) is kept on the JobSpec so
+// diagnostic and predictive analytics can be *scored*, which is the key
+// advantage of the simulated substrate over a real facility.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace oda::sim {
+
+enum class JobClass {
+  kComputeBound = 0,
+  kMemoryBound,
+  kNetworkBound,
+  kIoBound,
+  kGpuCompute,
+  kCryptoMiner,   // the anomalous workload of Ates et al. / DeMasi et al.
+  kMemoryLeak,    // software-anomaly workload of Tuncer et al.
+  kCount
+};
+
+const char* job_class_name(JobClass c);
+
+/// One execution phase: resource demands while the phase is active.
+struct JobPhase {
+  Duration nominal_duration = 0;  // at nominal CPU frequency, no contention
+  double cpu_util = 0.0;          // [0,1]
+  double mem_bw_util = 0.0;       // [0,1]
+  double net_util = 0.0;          // [0,1] of per-node NIC capacity
+  double io_util = 0.0;           // [0,1]
+  double gpu_util = 0.0;          // [0,1]
+  /// Fraction of runtime insensitive to CPU frequency (memory/IO stalls):
+  /// progress rate = (1-b) * f/f_nom + b.
+  double mem_boundedness = 0.0;
+};
+
+struct JobSpec {
+  std::uint64_t id = 0;
+  std::string user;
+  std::string queue;              // "small" | "medium" | "large"
+  JobClass job_class = JobClass::kComputeBound;
+  TimePoint submit_time = 0;
+  std::size_t nodes_requested = 1;
+  Duration walltime_requested = 0;  // user's (overestimated) request
+  std::vector<JobPhase> phases;
+
+  /// Ground truth: total nominal work in seconds (sum of phase durations).
+  Duration nominal_duration() const;
+};
+
+struct WorkloadParams {
+  std::size_t user_count = 24;
+  /// Mean jobs/hour at the daily peak; the trough is ~35% of peak.
+  double peak_arrival_rate_per_hour = 30.0;
+  std::size_t max_nodes_per_job = 16;
+  Duration min_duration = 10 * kMinute;
+  Duration max_duration = 12 * kHour;
+  /// Probability that a generated job is a crypto-miner / leaky job.
+  double miner_fraction = 0.0;
+  double leak_fraction = 0.0;
+  /// Seed jitter for per-user behaviour.
+  std::uint64_t seed = 42;
+};
+
+/// Per-user behavioural profile: preferred job classes, sizes, and a stable
+/// walltime overestimation factor — this is what makes per-user runtime
+/// prediction work on real systems and here.
+struct UserProfile {
+  std::string name;
+  std::vector<double> class_weights;  // over JobClass
+  double typical_nodes = 2.0;         // lognormal median
+  double typical_duration_s = 3600.0;
+  double walltime_overestimate = 3.0;  // request = runtime * this (+noise)
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadParams& params);
+
+  /// Jobs submitted during [now, now+dt).
+  std::vector<JobSpec> generate(TimePoint now, Duration dt);
+
+  /// Generates a complete trace of `count` jobs starting at time 0 (for
+  /// offline experiments that do not need the live simulator).
+  std::vector<JobSpec> generate_trace(std::size_t count);
+
+  const std::vector<UserProfile>& users() const { return users_; }
+  std::uint64_t jobs_generated() const { return next_id_ - 1; }
+
+  /// Builds the phase profile for a class (exposed for tests).
+  static std::vector<JobPhase> make_phases(JobClass c, Duration total,
+                                           Rng& rng);
+
+ private:
+  JobSpec make_job(TimePoint submit);
+  double arrival_rate_per_second(TimePoint now) const;
+
+  WorkloadParams params_;
+  std::vector<UserProfile> users_;
+  Rng rng_;
+  std::uint64_t next_id_ = 1;
+  double arrival_carry_ = 0.0;  // fractional expected arrivals carried over
+};
+
+}  // namespace oda::sim

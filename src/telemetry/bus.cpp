@@ -1,0 +1,50 @@
+#include "telemetry/bus.hpp"
+
+#include <algorithm>
+
+#include "common/string_util.hpp"
+
+namespace oda::telemetry {
+
+MessageBus::SubscriptionId MessageBus::subscribe(std::string pattern,
+                                                 Callback callback) {
+  std::lock_guard lock(mu_);
+  const SubscriptionId id = next_id_++;
+  subs_.push_back({id, std::move(pattern), std::move(callback)});
+  return id;
+}
+
+void MessageBus::unsubscribe(SubscriptionId id) {
+  std::lock_guard lock(mu_);
+  subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
+                             [id](const Subscription& s) { return s.id == id; }),
+              subs_.end());
+}
+
+void MessageBus::publish(const Reading& reading) {
+  published_.fetch_add(1, std::memory_order_relaxed);
+  // Snapshot matching callbacks under the lock, call outside it so a
+  // subscriber may publish (or subscribe) re-entrantly without deadlock.
+  std::vector<Callback> targets;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& s : subs_) {
+      if (glob_match(s.pattern, reading.path)) targets.push_back(s.callback);
+    }
+  }
+  for (const auto& cb : targets) {
+    cb(reading);
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void MessageBus::publish(const std::string& path, TimePoint time, double value) {
+  publish(Reading{path, {time, value}});
+}
+
+std::size_t MessageBus::subscriber_count() const {
+  std::lock_guard lock(mu_);
+  return subs_.size();
+}
+
+}  // namespace oda::telemetry

@@ -1,0 +1,49 @@
+// Topic-based publish/subscribe message bus — the transport layer of the
+// monitoring pipeline (the role MQTT plays in DCDB or AMQP in ExaMon).
+// Subscriptions take glob patterns over sensor paths; publishing is
+// thread-safe and delivers synchronously on the publisher's thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/sample.hpp"
+
+namespace oda::telemetry {
+
+class MessageBus {
+ public:
+  using Callback = std::function<void(const Reading&)>;
+  using SubscriptionId = std::uint64_t;
+
+  /// Subscribes to all paths matching the glob pattern.
+  SubscriptionId subscribe(std::string pattern, Callback callback);
+  void unsubscribe(SubscriptionId id);
+
+  /// Delivers the reading to every matching subscriber.
+  void publish(const Reading& reading);
+  void publish(const std::string& path, TimePoint time, double value);
+
+  std::size_t subscriber_count() const;
+  std::uint64_t published_count() const { return published_.load(); }
+  std::uint64_t delivered_count() const { return delivered_.load(); }
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    std::string pattern;
+    Callback callback;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Subscription> subs_;
+  SubscriptionId next_id_ = 1;
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+};
+
+}  // namespace oda::telemetry

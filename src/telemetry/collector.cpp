@@ -1,0 +1,66 @@
+#include "telemetry/collector.hpp"
+
+#include <mutex>
+
+#include "common/string_util.hpp"
+
+namespace oda::telemetry {
+
+Collector::Collector(sim::ClusterSimulation& cluster, TimeSeriesStore* store,
+                     MessageBus* bus, ThreadPool* pool)
+    : cluster_(cluster), store_(store), bus_(bus), pool_(pool) {
+  for (const auto& s : cluster.sensors()) {
+    catalog_.add({s.path, s.unit});
+  }
+}
+
+std::size_t Collector::add_group(CollectorGroup group) {
+  Group g;
+  g.def = std::move(group);
+  g.sensor_paths = catalog_.match(g.def.pattern);
+  const std::size_t matched = g.sensor_paths.size();
+  groups_.push_back(std::move(g));
+  return matched;
+}
+
+std::size_t Collector::add_all_sensors(Duration period) {
+  return add_group({"all", "*", period});
+}
+
+void Collector::collect() {
+  const TimePoint now = cluster_.now();
+  for (const auto& group : groups_) {
+    if (group.def.period <= 0 || now % group.def.period != 0) continue;
+
+    std::vector<Reading> readings(group.sensor_paths.size());
+    if (pool_ != nullptr && group.sensor_paths.size() >= 64) {
+      // Note: ClusterSimulation::read_sensor applies the fault overlay with
+      // its own RNG; parallel reads are safe because the overlay RNG is only
+      // consulted for spike/noise faults, whose per-read ordering we do not
+      // promise. Reads themselves are const over a quiescent simulator.
+      std::mutex mu;  // guards the shared fault-overlay RNG inside cluster
+      pool_->parallel_for(0, group.sensor_paths.size(), [&](std::size_t i) {
+        const std::string& path = group.sensor_paths[i];
+        double value;
+        {
+          std::lock_guard lock(mu);
+          value = cluster_.read_sensor(path);
+        }
+        readings[i] = Reading{path, {now, value}};
+      });
+    } else {
+      for (std::size_t i = 0; i < group.sensor_paths.size(); ++i) {
+        const std::string& path = group.sensor_paths[i];
+        readings[i] = Reading{path, {now, cluster_.read_sensor(path)}};
+      }
+    }
+
+    for (const auto& r : readings) {
+      if (store_ != nullptr) store_->insert(r);
+      if (bus_ != nullptr) bus_->publish(r);
+      ++samples_collected_;
+    }
+  }
+}
+
+}  // namespace oda::telemetry

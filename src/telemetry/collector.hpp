@@ -1,0 +1,62 @@
+// Collector: samples the simulated facility's sensors into the store and
+// onto the bus — the LDMS/DCDB "sampler plugin" role. Sampling is organized
+// in groups, each with its own glob filter and period (facility sensors are
+// typically slower than node sensors), and the sensor reads of a pass can be
+// spread across a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "sim/cluster.hpp"
+#include "telemetry/bus.hpp"
+#include "telemetry/sample.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::telemetry {
+
+struct CollectorGroup {
+  std::string name;
+  std::string pattern;   // glob over sensor paths
+  Duration period = 15;  // sampling period (multiple of sim dt recommended)
+};
+
+class Collector {
+ public:
+  /// Store and bus may be null if unused; pool may be null for serial reads.
+  Collector(sim::ClusterSimulation& cluster, TimeSeriesStore* store,
+            MessageBus* bus, ThreadPool* pool = nullptr);
+
+  /// Adds a sampling group; returns the number of sensors it matched.
+  std::size_t add_group(CollectorGroup group);
+  /// Convenience: one group covering every sensor at the given period.
+  std::size_t add_all_sensors(Duration period);
+
+  /// Samples every group whose period divides the current sim time. Call
+  /// once per sim step (after cluster.step()).
+  void collect();
+
+  /// Catalog of all sensors known to the collector's cluster.
+  const SensorCatalog& catalog() const { return catalog_; }
+  std::uint64_t samples_collected() const { return samples_collected_; }
+
+ private:
+  struct Group {
+    CollectorGroup def;
+    std::vector<std::string> sensor_paths;
+  };
+
+  sim::ClusterSimulation& cluster_;
+  TimeSeriesStore* store_;
+  MessageBus* bus_;
+  ThreadPool* pool_;
+  SensorCatalog catalog_;
+  std::vector<Group> groups_;
+  std::uint64_t samples_collected_ = 0;
+};
+
+}  // namespace oda::telemetry

@@ -1,0 +1,69 @@
+#include "telemetry/derived.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace oda::telemetry {
+
+void DerivedSensors::define(std::string path, std::vector<std::string> inputs,
+                            Formula f) {
+  ODA_REQUIRE(!path.empty(), "derived sensor needs a path");
+  ODA_REQUIRE(f != nullptr, "derived sensor needs a formula");
+  derived_.push_back({std::move(path), std::move(inputs), std::move(f)});
+}
+
+void DerivedSensors::define_sum(const std::string& path,
+                                const std::string& input_pattern) {
+  define(path, store_.match(input_pattern), [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s;
+  });
+}
+
+void DerivedSensors::define_mean(const std::string& path,
+                                 const std::string& input_pattern) {
+  define(path, store_.match(input_pattern), [](const std::vector<double>& v) {
+    if (v.empty()) return std::nan("");
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  });
+}
+
+void DerivedSensors::define_ratio(const std::string& path,
+                                  const std::string& numerator,
+                                  const std::string& denominator) {
+  define(path, {numerator, denominator}, [](const std::vector<double>& v) {
+    return v[1] != 0.0 ? v[0] / v[1] : std::nan("");
+  });
+}
+
+void DerivedSensors::evaluate(TimePoint now) {
+  for (const auto& d : derived_) {
+    std::vector<double> inputs;
+    inputs.reserve(d.inputs.size());
+    bool complete = true;
+    for (const auto& in : d.inputs) {
+      const auto latest = store_.latest(in);
+      if (!latest) {
+        complete = false;
+        break;
+      }
+      inputs.push_back(latest->value);
+    }
+    if (!complete) continue;
+    const double value = d.formula(inputs);
+    if (std::isfinite(value)) store_.insert(d.path, {now, value});
+  }
+}
+
+std::vector<std::string> DerivedSensors::paths() const {
+  std::vector<std::string> out;
+  out.reserve(derived_.size());
+  for (const auto& d : derived_) out.push_back(d.path);
+  return out;
+}
+
+}  // namespace oda::telemetry

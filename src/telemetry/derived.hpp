@@ -1,0 +1,49 @@
+// Virtual sensors computed from stored series — the "operational derived
+// metrics" of monitoring stacks (e.g. DCDB's virtual sensors): arithmetic
+// over the latest values of input sensors, republished as first-class
+// readings so downstream analytics need not special-case them.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "telemetry/sample.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::telemetry {
+
+class DerivedSensors {
+ public:
+  using Formula = std::function<double(const std::vector<double>&)>;
+
+  explicit DerivedSensors(TimeSeriesStore& store) : store_(store) {}
+
+  /// Registers `path` computed from the latest values of `inputs`. The
+  /// formula receives input values in registration order.
+  void define(std::string path, std::vector<std::string> inputs, Formula f);
+
+  /// Common shorthands.
+  void define_sum(const std::string& path, const std::string& input_pattern);
+  void define_mean(const std::string& path, const std::string& input_pattern);
+  void define_ratio(const std::string& path, const std::string& numerator,
+                    const std::string& denominator);
+
+  /// Evaluates every derived sensor at `now` and inserts into the store.
+  /// Sensors whose inputs are missing are skipped.
+  void evaluate(TimePoint now);
+
+  std::vector<std::string> paths() const;
+
+ private:
+  struct Derived {
+    std::string path;
+    std::vector<std::string> inputs;  // resolved sensor paths
+    Formula formula;
+  };
+
+  TimeSeriesStore& store_;
+  std::vector<Derived> derived_;
+};
+
+}  // namespace oda::telemetry

@@ -1,0 +1,36 @@
+#include "telemetry/sample.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace oda::telemetry {
+
+void SensorCatalog::add(SensorInfo info) {
+  ODA_REQUIRE(!info.path.empty(), "sensor path must be non-empty");
+  const auto [it, inserted] = sensors_.emplace(info.path, info);
+  if (inserted) {
+    order_.push_back(info.path);
+  } else {
+    it->second = std::move(info);
+  }
+}
+
+bool SensorCatalog::contains(const std::string& path) const {
+  return sensors_.count(path) != 0;
+}
+
+std::optional<SensorInfo> SensorCatalog::find(const std::string& path) const {
+  const auto it = sensors_.find(path);
+  if (it == sensors_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> SensorCatalog::match(const std::string& pattern) const {
+  std::vector<std::string> out;
+  for (const auto& path : order_) {
+    if (glob_match(pattern, path)) out.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace oda::telemetry

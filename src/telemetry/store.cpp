@@ -1,0 +1,197 @@
+#include "telemetry/store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/string_util.hpp"
+
+namespace oda::telemetry {
+
+double aggregate(const std::vector<double>& values, Aggregation agg) {
+  if (values.empty()) return std::nan("");
+  switch (agg) {
+    case Aggregation::kMean:
+      return oda::mean(values);
+    case Aggregation::kMin:
+      return *std::min_element(values.begin(), values.end());
+    case Aggregation::kMax:
+      return *std::max_element(values.begin(), values.end());
+    case Aggregation::kSum: {
+      double s = 0.0;
+      for (double v : values) s += v;
+      return s;
+    }
+    case Aggregation::kLast:
+      return values.back();
+    case Aggregation::kCount:
+      return static_cast<double>(values.size());
+    case Aggregation::kStdDev:
+      return oda::stddev(values);
+  }
+  return std::nan("");
+}
+
+std::vector<double> Frame::column(const std::string& name) const {
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c] == name) {
+      std::vector<double> out(rows());
+      for (std::size_t r = 0; r < rows(); ++r) out[r] = values[r][c];
+      return out;
+    }
+  }
+  throw ContractError("frame column not found: " + name);
+}
+
+TimeSeriesStore::TimeSeriesStore(std::size_t capacity_per_sensor)
+    : capacity_(capacity_per_sensor) {
+  ODA_REQUIRE(capacity_per_sensor > 0, "store capacity must be positive");
+}
+
+void TimeSeriesStore::insert(const std::string& path, Sample sample) {
+  std::unique_lock lock(mu_);
+  auto it = series_.find(path);
+  if (it == series_.end()) {
+    it = series_.emplace(path, std::make_unique<Series>(capacity_)).first;
+  }
+  it->second->samples.push(sample);
+  ++total_inserted_;
+}
+
+void TimeSeriesStore::insert(const Reading& reading) {
+  insert(reading.path, reading.sample);
+}
+
+bool TimeSeriesStore::contains(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  return series_.count(path) != 0;
+}
+
+std::vector<std::string> TimeSeriesStore::paths() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [p, s] : series_) out.push_back(p);
+  return out;
+}
+
+std::vector<std::string> TimeSeriesStore::match(const std::string& pattern) const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [p, s] : series_) {
+    if (glob_match(pattern, p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t TimeSeriesStore::sample_count(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  const Series* s = find_series(path);
+  return s ? s->samples.size() : 0;
+}
+
+std::uint64_t TimeSeriesStore::total_inserted() const {
+  std::shared_lock lock(mu_);
+  return total_inserted_;
+}
+
+const TimeSeriesStore::Series* TimeSeriesStore::find_series(
+    const std::string& path) const {
+  const auto it = series_.find(path);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+std::optional<Sample> TimeSeriesStore::latest(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  const Series* s = find_series(path);
+  if (!s || s->samples.empty()) return std::nullopt;
+  return s->samples.back();
+}
+
+SeriesSlice TimeSeriesStore::query(const std::string& path, TimePoint from,
+                                   TimePoint to) const {
+  std::shared_lock lock(mu_);
+  SeriesSlice out;
+  const Series* s = find_series(path);
+  if (!s) return out;
+  // Samples are time-ordered (monotone inserts); binary-search the start.
+  const auto& buf = s->samples;
+  std::size_t lo = 0, hi = buf.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (buf[mid].time < from) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (std::size_t i = lo; i < buf.size() && buf[i].time < to; ++i) {
+    out.times.push_back(buf[i].time);
+    out.values.push_back(buf[i].value);
+  }
+  return out;
+}
+
+SeriesSlice TimeSeriesStore::query_all(const std::string& path) const {
+  return query(path, kTimeMin, kTimeMax);
+}
+
+SeriesSlice TimeSeriesStore::query_aggregated(const std::string& path,
+                                              TimePoint from, TimePoint to,
+                                              Duration bucket,
+                                              Aggregation agg) const {
+  ODA_REQUIRE(bucket > 0, "aggregation bucket must be positive");
+  const SeriesSlice raw = query(path, from, to);
+  SeriesSlice out;
+  if (raw.empty()) return out;
+
+  std::vector<double> current;
+  TimePoint bucket_start = from + ((raw.times.front() - from) / bucket) * bucket;
+  const auto flush = [&] {
+    if (!current.empty()) {
+      out.times.push_back(bucket_start);
+      out.values.push_back(aggregate(current, agg));
+      current.clear();
+    }
+  };
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    while (raw.times[i] >= bucket_start + bucket) {
+      flush();
+      bucket_start += bucket;
+    }
+    current.push_back(raw.values[i]);
+  }
+  flush();
+  return out;
+}
+
+Frame TimeSeriesStore::frame(const std::vector<std::string>& sensor_paths,
+                             TimePoint from, TimePoint to, Duration bucket,
+                             Aggregation agg) const {
+  ODA_REQUIRE(bucket > 0, "frame bucket must be positive");
+  Frame f;
+  f.columns = sensor_paths;
+  const std::size_t n_buckets =
+      static_cast<std::size_t>(std::max<TimePoint>(0, (to - from + bucket - 1) / bucket));
+  f.times.resize(n_buckets);
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    f.times[b] = from + static_cast<Duration>(b) * bucket;
+  }
+  f.values.assign(n_buckets, std::vector<double>(sensor_paths.size(),
+                                                 std::nan("")));
+  for (std::size_t c = 0; c < sensor_paths.size(); ++c) {
+    const SeriesSlice agg_slice =
+        query_aggregated(sensor_paths[c], from, to, bucket, agg);
+    for (std::size_t i = 0; i < agg_slice.size(); ++i) {
+      const auto b =
+          static_cast<std::size_t>((agg_slice.times[i] - from) / bucket);
+      if (b < n_buckets) f.values[b][c] = agg_slice.values[i];
+    }
+  }
+  return f;
+}
+
+}  // namespace oda::telemetry

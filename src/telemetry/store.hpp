@@ -1,0 +1,88 @@
+// In-memory time-series store: bounded per-sensor ring storage with
+// time-range queries, bucketed downsampling, and aligned multi-sensor frames
+// (the tabular input the ML-flavoured analytics consume). Thread-safe via a
+// reader/writer lock per store.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "telemetry/sample.hpp"
+
+namespace oda::telemetry {
+
+enum class Aggregation { kMean, kMin, kMax, kSum, kLast, kCount, kStdDev };
+
+struct SeriesSlice {
+  std::vector<TimePoint> times;
+  std::vector<double> values;
+
+  std::size_t size() const { return values.size(); }
+  bool empty() const { return values.empty(); }
+};
+
+/// An aligned multi-sensor table: rows are time buckets, columns sensors.
+struct Frame {
+  std::vector<std::string> columns;
+  std::vector<TimePoint> times;
+  /// values[row][col]; missing data is NaN.
+  std::vector<std::vector<double>> values;
+
+  std::size_t rows() const { return times.size(); }
+  std::size_t cols() const { return columns.size(); }
+  std::vector<double> column(const std::string& name) const;
+};
+
+class TimeSeriesStore {
+ public:
+  /// capacity_per_sensor bounds retained samples per path.
+  explicit TimeSeriesStore(std::size_t capacity_per_sensor = 1 << 16);
+
+  void insert(const std::string& path, Sample sample);
+  void insert(const Reading& reading);
+
+  bool contains(const std::string& path) const;
+  std::vector<std::string> paths() const;
+  std::vector<std::string> match(const std::string& pattern) const;
+  std::size_t sample_count(const std::string& path) const;
+  std::uint64_t total_inserted() const;
+
+  std::optional<Sample> latest(const std::string& path) const;
+  /// Samples with time in [from, to).
+  SeriesSlice query(const std::string& path, TimePoint from, TimePoint to) const;
+  /// All retained samples.
+  SeriesSlice query_all(const std::string& path) const;
+
+  /// Downsamples [from, to) into fixed buckets of `bucket` seconds.
+  SeriesSlice query_aggregated(const std::string& path, TimePoint from,
+                               TimePoint to, Duration bucket,
+                               Aggregation agg) const;
+
+  /// Aligned frame over several sensors with a shared bucket grid.
+  Frame frame(const std::vector<std::string>& sensor_paths, TimePoint from,
+              TimePoint to, Duration bucket,
+              Aggregation agg = Aggregation::kMean) const;
+
+ private:
+  struct Series {
+    RingBuffer<Sample> samples;
+    explicit Series(std::size_t cap) : samples(cap) {}
+  };
+
+  const Series* find_series(const std::string& path) const;
+
+  std::size_t capacity_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+  std::uint64_t total_inserted_ = 0;
+};
+
+/// Aggregates a value list (helper shared with dashboards).
+double aggregate(const std::vector<double>& values, Aggregation agg);
+
+}  // namespace oda::telemetry

@@ -1,0 +1,441 @@
+// Tests for the diagnostic pillar: streaming/multivariate anomaly detection
+// (scored against injected-fault ground truth), root-cause analysis,
+// fingerprinting, contention diagnosis, and software diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/diagnostic/anomaly.hpp"
+#include "analytics/diagnostic/contention.hpp"
+#include "analytics/diagnostic/fingerprint.hpp"
+#include "analytics/diagnostic/rootcause.hpp"
+#include "analytics/diagnostic/software.hpp"
+#include "analytics/diagnostic/stress_test.hpp"
+#include "sim/cluster.hpp"
+#include "telemetry/collector.hpp"
+
+namespace oda::analytics {
+namespace {
+
+// ------------------------------------------------------ streaming detectors
+
+TEST(ZScoreDetector, FiresOnSpikeNotOnNoise) {
+  Rng rng(1);
+  ZScoreDetector det(64, 4.0);
+  for (int i = 0; i < 200; ++i) {
+    det.observe(rng.normal(100.0, 2.0));
+    EXPECT_LT(det.score(), 1.0) << "false positive at i=" << i;
+  }
+  det.observe(150.0);
+  EXPECT_GE(det.score(), 1.0);
+}
+
+TEST(MadDetector, SurvivesContaminatedWindow) {
+  Rng rng(2);
+  MadDetector det(64, 5.0);
+  for (int i = 0; i < 100; ++i) det.observe(rng.normal(10.0, 0.5));
+  // A burst of outliers: MAD keeps firing where stddev-based scores would
+  // be swamped by the contamination.
+  for (int i = 0; i < 10; ++i) {
+    det.observe(30.0);
+    EXPECT_GE(det.score(), 1.0);
+  }
+}
+
+TEST(EwmaDetector, DetectsLevelShift) {
+  Rng rng(3);
+  EwmaDetector det(0.2, 4.0);
+  for (int i = 0; i < 300; ++i) det.observe(rng.normal(50.0, 1.0));
+  EXPECT_LT(det.score(), 1.0);
+  for (int i = 0; i < 30; ++i) det.observe(rng.normal(56.0, 1.0));
+  EXPECT_GE(det.score(), 1.0);
+}
+
+TEST(StuckSensorDetector, CountsConstantRun) {
+  StuckSensorDetector det(10);
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) det.observe(rng.normal(3.0, 0.2));
+  EXPECT_LT(det.score(), 0.5);
+  for (int i = 0; i < 12; ++i) det.observe(7.77);
+  EXPECT_GE(det.score(), 1.0);
+}
+
+// -------------------------------------------------------- detection scoring
+
+TEST(DetectionMetrics, ConfusionMath) {
+  const std::vector<bool> pred{true, true, false, false, true};
+  const std::vector<bool> truth{true, false, false, true, true};
+  const auto m = score_detection(pred, truth);
+  EXPECT_EQ(m.true_positives, 2u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_EQ(m.true_negatives, 1u);
+  EXPECT_NEAR(m.precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.recall(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RocAuc, PerfectAndRandomScores) {
+  const std::vector<double> perfect{0.1, 0.2, 0.8, 0.9};
+  const std::vector<bool> truth{false, false, true, true};
+  EXPECT_DOUBLE_EQ(roc_auc(perfect, truth), 1.0);
+  const std::vector<double> inverted{0.9, 0.8, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(roc_auc(inverted, truth), 0.0);
+  const std::vector<double> ties{0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(roc_auc(ties, truth), 0.5);
+}
+
+// --------------------------------------------------------- node monitor E2E
+
+class MonitorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::ClusterParams params;
+    params.racks = 2;
+    params.nodes_per_rack = 4;
+    params.seed = 21;
+    cluster_ = std::make_unique<sim::ClusterSimulation>(params);
+    cluster_->set_workload_enabled(false);
+    store_ = std::make_unique<telemetry::TimeSeriesStore>();
+    collector_ = std::make_unique<telemetry::Collector>(*cluster_, store_.get(),
+                                                        nullptr);
+    collector_->add_all_sensors(60);
+    for (std::size_t i = 0; i < cluster_->node_count(); ++i) {
+      prefixes_.push_back(cluster_->node(i).path());
+    }
+    // Steady synthetic load: one long single-node job per node, so every
+    // node has a stable busy signature the monitor can learn.
+    Rng job_rng(77);
+    for (std::size_t i = 0; i < cluster_->node_count(); ++i) {
+      sim::JobSpec spec;
+      spec.id = 1000 + i;
+      spec.user = "steady";
+      spec.nodes_requested = 1;
+      spec.phases = sim::WorkloadGenerator::make_phases(
+          sim::JobClass::kComputeBound, 48 * kHour, job_rng);
+      spec.walltime_requested = 96 * kHour;
+      cluster_->scheduler().submit(spec);
+    }
+  }
+
+  void run_until(TimePoint t) {
+    while (cluster_->now() < t) {
+      cluster_->step();
+      collector_->collect();
+    }
+  }
+
+  std::unique_ptr<sim::ClusterSimulation> cluster_;
+  std::unique_ptr<telemetry::TimeSeriesStore> store_;
+  std::unique_ptr<telemetry::Collector> collector_;
+  std::vector<std::string> prefixes_;
+};
+
+TEST_F(MonitorFixture, DetectsFanFailureLowFalsePositives) {
+  run_until(8 * kHour);  // healthy training period
+  Rng rng(5);
+  NodeAnomalyMonitor monitor({}, prefixes_);
+  monitor.train(*store_, kHour, 8 * kHour, rng);
+
+  // Healthy scan: few (ideally zero) false positives.
+  std::size_t false_pos = 0;
+  for (const auto& v : monitor.scan(*store_, cluster_->now())) {
+    if (v.anomalous) ++false_pos;
+  }
+  EXPECT_LE(false_pos, 1u);
+
+  // Inject a fan failure on node 2 and a thermal degradation on node 5.
+  cluster_->faults().schedule({sim::FaultKind::kFanFailure, prefixes_[2],
+                               cluster_->now(), cluster_->now() + 4 * kHour, 1.0});
+  cluster_->faults().schedule({sim::FaultKind::kThermalDegradation, prefixes_[5],
+                               cluster_->now(), cluster_->now() + 4 * kHour, 2.0});
+  run_until(cluster_->now() + 2 * kHour);
+
+  const auto verdicts = monitor.scan(*store_, cluster_->now());
+  EXPECT_TRUE(verdicts[2].anomalous) << "fan failure missed, score="
+                                     << verdicts[2].score;
+  EXPECT_TRUE(verdicts[5].anomalous) << "thermal degradation missed, score="
+                                     << verdicts[5].score;
+  // The faulty nodes must rank above every healthy node.
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    if (i == 2 || i == 5) continue;
+    EXPECT_LT(verdicts[i].score, verdicts[2].score);
+    EXPECT_LT(verdicts[i].score, verdicts[5].score);
+  }
+}
+
+TEST(PcaAnomalyDetector, FlagsOffSubspaceSamples) {
+  Rng rng(6);
+  std::vector<std::vector<double>> healthy;
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.normal();
+    healthy.push_back({t + rng.normal(0.0, 0.05), 2.0 * t + rng.normal(0.0, 0.05),
+                       -t + rng.normal(0.0, 0.05)});
+  }
+  PcaAnomalyDetector det;
+  det.train(healthy, 0.95);
+  EXPECT_LT(det.score(healthy[0]), 1.5);
+  EXPECT_GT(det.score(std::vector<double>{3.0, -6.0, 3.0}), 2.0);
+}
+
+TEST(WindowFeatures, ShapeAndSlope) {
+  telemetry::Frame frame;
+  frame.columns = {"a", "b"};
+  frame.times = {0, 1, 2, 3};
+  frame.values = {{0.0, 5.0}, {1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}};
+  const auto f = window_features(frame);
+  ASSERT_EQ(f.size(), 6u);
+  EXPECT_NEAR(f[0], 1.5, 1e-12);  // mean(a)
+  EXPECT_NEAR(f[2], 1.0, 1e-12);  // slope(a)
+  EXPECT_NEAR(f[5], 0.0, 1e-12);  // slope(b)
+}
+
+// ------------------------------------------------------------------- RCA
+
+TEST(RootCause, BlamesCoolingWhenAllRacksHot) {
+  auto graph = DependencyGraph::standard_cluster(2, 4);
+  std::vector<std::string> symptoms;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t n = 0; n < 4; ++n) symptoms.push_back(sim::node_path(r, n));
+  }
+  const auto causes = graph.diagnose(symptoms);
+  ASSERT_FALSE(causes.empty());
+  EXPECT_EQ(causes.front().component, "facility/cooling");
+}
+
+TEST(RootCause, BlamesRackWhenOnlyItsNodesHot) {
+  auto graph = DependencyGraph::standard_cluster(2, 4);
+  std::vector<std::string> symptoms;
+  for (std::size_t n = 0; n < 4; ++n) symptoms.push_back(sim::node_path(1, n));
+  const auto causes = graph.diagnose(symptoms);
+  ASSERT_FALSE(causes.empty());
+  EXPECT_EQ(causes.front().component, "rack01");
+}
+
+TEST(RootCause, SingleNodeIsItsOwnCause) {
+  auto graph = DependencyGraph::standard_cluster(2, 4);
+  const auto causes = graph.diagnose({sim::node_path(0, 2)});
+  ASSERT_FALSE(causes.empty());
+  EXPECT_EQ(causes.front().component, sim::node_path(0, 2));
+}
+
+TEST(RootCause, GraphStructure) {
+  auto graph = DependencyGraph::standard_cluster(3, 2);
+  EXPECT_TRUE(graph.contains("facility/cooling"));
+  EXPECT_EQ(graph.children_of("rack00").size(), 2u);
+  EXPECT_EQ(graph.descendants_of("facility/cooling").size(), 3 + 3 * 2 + 2u);
+}
+
+// ----------------------------------------------------------- fingerprinting
+
+TEST(CrisisFingerprinter, MatchesKnownIncidentClass) {
+  CrisisFingerprinter fp;
+  Rng rng(7);
+  // Two incident classes with distinct signatures.
+  for (int i = 0; i < 5; ++i) {
+    fp.add_incident("cooling-loss",
+                    {40.0 + rng.normal(0, 0.5), 80.0 + rng.normal(0, 0.5), 2.0});
+    fp.add_incident("power-surge",
+                    {10.0 + rng.normal(0, 0.5), 20.0 + rng.normal(0, 0.5), 9.0});
+  }
+  const auto match = fp.identify({40.3, 79.7, 2.1});
+  EXPECT_EQ(match.label, "cooling-loss");
+  EXPECT_TRUE(match.known);
+  const auto novel = fp.identify({400.0, 0.0, -50.0});
+  EXPECT_FALSE(novel.known);
+}
+
+TEST(ApplicationFingerprinter, SeparatesSyntheticClasses) {
+  ApplicationFingerprinter fp;
+  Rng rng(8);
+  // Miner: high cpu, low mem/net. HPC: moderate cpu, higher mem/net.
+  for (int i = 0; i < 30; ++i) {
+    fp.add_training("miner", {0.99 + rng.normal(0, 0.003), 0.02, 0.05, 0.01});
+    fp.add_training("hpc", {0.8 + rng.normal(0, 0.05), 0.15,
+                            0.5 + rng.normal(0, 0.1), 0.3});
+  }
+  fp.train(rng);
+  EXPECT_EQ(fp.predict_knn({0.995, 0.02, 0.04, 0.01}).label, "miner");
+  EXPECT_EQ(fp.predict_forest({0.995, 0.02, 0.04, 0.01}).label, "miner");
+  EXPECT_EQ(fp.predict_knn({0.78, 0.2, 0.6, 0.35}).label, "hpc");
+  EXPECT_GT(fp.predict_forest({0.995, 0.02, 0.04, 0.01}).confidence, 0.7);
+}
+
+// -------------------------------------------------------- contention E2E
+
+TEST(Contention, DiagnosesDegradedUplink) {
+  sim::ClusterParams params;
+  params.racks = 2;
+  params.nodes_per_rack = 8;
+  params.seed = 31;
+  params.workload.peak_arrival_rate_per_hour = 0.0;
+  sim::ClusterSimulation cluster(params);
+  cluster.set_workload_enabled(false);
+
+  // A cross-rack network-heavy job.
+  sim::JobSpec spec;
+  spec.id = 1;
+  spec.user = "netuser";
+  spec.nodes_requested = 12;  // spans both racks under first-fit
+  sim::JobPhase phase;
+  phase.nominal_duration = 6 * kHour;
+  phase.cpu_util = 0.5;
+  phase.net_util = 0.9;
+  spec.phases = {phase};
+  spec.walltime_requested = 12 * kHour;
+  cluster.scheduler().submit(spec);
+
+  // Degrade rack 0's uplink so the shared link saturates.
+  cluster.faults().schedule({sim::FaultKind::kNetworkDegradation, "0", 0,
+                             12 * kHour, 0.3});
+
+  telemetry::TimeSeriesStore store;
+  telemetry::Collector collector(cluster, &store, nullptr);
+  collector.add_all_sensors(60);
+  while (cluster.now() < kHour) {
+    cluster.step();
+    collector.collect();
+  }
+
+  std::vector<std::string> prefixes;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    prefixes.push_back(cluster.node(i).path());
+  }
+  ContentionParams cp;
+  cp.nodes_per_rack = 8;
+  const auto report = diagnose_contention(store, cluster.scheduler().running(),
+                                          prefixes, cluster.now(), cp);
+  ASSERT_TRUE(report.contention_detected());
+  EXPECT_EQ(report.hot_links.front().rack, 0u);
+  ASSERT_FALSE(report.involved_jobs.empty());
+  EXPECT_EQ(report.involved_jobs.front().job_id, 1u);
+  EXPECT_TRUE(report.involved_jobs.front().aggressor);
+}
+
+// --------------------------------------------------------------- software
+
+TEST(MemoryLeak, DetectedOnLeakClassJob) {
+  sim::ClusterParams params;
+  params.racks = 1;
+  params.nodes_per_rack = 2;
+  params.workload.peak_arrival_rate_per_hour = 0.0;
+  sim::ClusterSimulation cluster(params);
+  cluster.set_workload_enabled(false);
+
+  sim::JobSpec leak;
+  leak.id = 1;
+  leak.user = "u";
+  leak.job_class = sim::JobClass::kMemoryLeak;
+  leak.nodes_requested = 1;
+  sim::JobPhase phase;
+  phase.nominal_duration = 6 * kHour;
+  phase.cpu_util = 0.8;
+  leak.phases = {phase};
+  leak.walltime_requested = 12 * kHour;
+  cluster.scheduler().submit(leak);
+
+  telemetry::TimeSeriesStore store;
+  telemetry::Collector collector(cluster, &store, nullptr);
+  collector.add_all_sensors(60);
+  while (cluster.now() < kHour) {
+    cluster.step();
+    collector.collect();
+  }
+
+  std::vector<std::string> prefixes;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    prefixes.push_back(cluster.node(i).path());
+  }
+  ASSERT_FALSE(cluster.scheduler().running().empty());
+  const auto verdict = detect_memory_leak(
+      store, cluster.scheduler().running()[0], prefixes, cluster.now(), {});
+  EXPECT_TRUE(verdict.leaking);
+  EXPECT_NEAR(verdict.slope_gb_per_hour, 90.0, 20.0);  // 1.5 GB/min ramp
+  EXPECT_GT(verdict.projected_hours_to_oom, 0.0);
+}
+
+TEST(OsNoise, FindsInjectedPeriod) {
+  // One interference event every 0.1 s against 0.0105 s quanta: ~10% of
+  // quanta are inflated.
+  const auto trace = synthesize_fwq(1024, 0.01, /*noise_period=*/0.1,
+                                    /*noise_cost=*/0.004,
+                                    /*sample_period=*/0.0105, 99);
+  const auto report = analyze_fwq(trace, 0.01, 0.0105);
+  EXPECT_GT(report.noise_fraction, 0.05);
+  ASSERT_TRUE(report.periodic);
+  // An impulse train carries equal energy in all harmonics, so the dominant
+  // bin may be any multiple of the fundamental: accept period = 0.1/k.
+  const double ratio = 0.1 / report.dominant_period_s;
+  EXPECT_NEAR(ratio, std::round(ratio), 0.15)
+      << "dominant period " << report.dominant_period_s
+      << " is not a harmonic of 0.1 s";
+  EXPECT_LE(report.dominant_period_s, 0.11);
+}
+
+TEST(OsNoise, QuietTraceIsClean) {
+  const auto trace = synthesize_fwq(256, 0.01, /*noise_period=*/1e9,
+                                    /*noise_cost=*/0.0, 0.0105, 7);
+  const auto report = analyze_fwq(trace, 0.01, 0.0105);
+  EXPECT_LT(report.noise_fraction, 0.02);
+}
+
+TEST(Boundedness, NameMapping) {
+  EXPECT_STREQ(boundedness_name(Boundedness::kCompute), "compute-bound");
+  EXPECT_STREQ(boundedness_name(Boundedness::kIdle), "idle");
+}
+
+
+TEST(StressTest, FitTimeConstantExactExponential) {
+  std::vector<double> t, y;
+  const double tau = 600.0, y0 = 30.0, yinf = 27.0;
+  for (int i = 1; i <= 40; ++i) {
+    t.push_back(i * 60.0);
+    y.push_back(yinf + (y0 - yinf) * std::exp(-i * 60.0 / tau));
+  }
+  EXPECT_NEAR(fit_time_constant(t, y, y0, yinf), tau, 5.0);
+}
+
+TEST(StressTest, DegradedPumpSlowsLoopResponse) {
+  const auto measure = [](double degradation) {
+    sim::ClusterParams params;
+    params.racks = 1;
+    params.nodes_per_rack = 4;
+    params.seed = 9;
+    params.workload.peak_arrival_rate_per_hour = 0.0;
+    sim::ClusterSimulation cluster(params);
+    cluster.set_workload_enabled(false);
+    if (degradation > 1.0) {
+      cluster.faults().schedule({sim::FaultKind::kPumpDegradation, "facility",
+                                 0, 100 * kDay, degradation});
+    }
+    return run_cooling_stress_test(cluster, /*baseline_tau_s=*/0.0);
+  };
+  const auto healthy = measure(1.0);
+  ASSERT_TRUE(healthy.completed);
+  EXPECT_NEAR(healthy.time_constant_s, 900.0, 200.0);  // the loop's design tau
+  EXPECT_LT(healthy.residual_rmse_c, 0.2);             // clean first-order fit
+
+  const auto degraded = measure(2.0);
+  EXPECT_GT(degraded.time_constant_s, healthy.time_constant_s * 1.6);
+
+  // Verdict path: re-run degraded with the healthy baseline.
+  sim::ClusterParams params;
+  params.racks = 1;
+  params.nodes_per_rack = 4;
+  params.seed = 9;
+  params.workload.peak_arrival_rate_per_hour = 0.0;
+  sim::ClusterSimulation cluster(params);
+  cluster.set_workload_enabled(false);
+  cluster.faults().schedule({sim::FaultKind::kPumpDegradation, "facility", 0,
+                             100 * kDay, 2.0});
+  const auto verdict =
+      run_cooling_stress_test(cluster, healthy.time_constant_s);
+  EXPECT_TRUE(verdict.degraded);
+  EXPECT_GT(verdict.slowdown_factor, 1.4);
+  // The protocol restores the operating point.
+  EXPECT_DOUBLE_EQ(cluster.knobs().get("facility/supply_setpoint"),
+                   params.facility.supply_setpoint_c);
+}
+
+}  // namespace
+}  // namespace oda::analytics

@@ -1,0 +1,355 @@
+// Integration tests: whole-pipeline scenarios wiring simulator -> telemetry
+// -> analytics -> control and asserting closed-loop behaviour, plus the
+// config binding and end-to-end compositions the examples are built from.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/descriptive/kpi.hpp"
+#include "analytics/diagnostic/anomaly.hpp"
+#include "analytics/diagnostic/fingerprint.hpp"
+#include "analytics/diagnostic/rootcause.hpp"
+#include "analytics/predictive/spectral.hpp"
+#include "analytics/prescriptive/controller.hpp"
+#include "analytics/prescriptive/dvfs.hpp"
+#include "analytics/prescriptive/response.hpp"
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/bindings.hpp"
+#include "core/oda_system.hpp"
+#include "sim/cluster.hpp"
+#include "sim/config.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/derived.hpp"
+
+namespace oda {
+namespace {
+
+// -------------------------------------------------------------- sim config
+
+TEST(SimConfig, AppliesRecognizedKeys) {
+  const auto cfg = Config::from_text(
+      "cluster.racks = 2\n"
+      "cluster.nodes_per_rack = 4\n"
+      "workload.miner_fraction = 0.25\n"
+      "facility.supply_setpoint_c = 35\n"
+      "weather.mean_temp_c = 22.5\n"
+      "scheduler.backfill = false\n");
+  const auto params = sim::cluster_params_from_config(cfg);
+  EXPECT_EQ(params.racks, 2u);
+  EXPECT_EQ(params.nodes_per_rack, 4u);
+  EXPECT_DOUBLE_EQ(params.workload.miner_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(params.facility.supply_setpoint_c, 35.0);
+  EXPECT_DOUBLE_EQ(params.weather.mean_temp_c, 22.5);
+  EXPECT_EQ(params.scheduler.discipline, sim::QueueDiscipline::kFcfs);
+}
+
+TEST(SimConfig, UnknownKeyThrows) {
+  const auto cfg = Config::from_text("cluster.rackz = 3\n");
+  EXPECT_THROW(sim::cluster_params_from_config(cfg), ConfigError);
+}
+
+TEST(SimConfig, RoundTripsThroughText) {
+  sim::ClusterParams params;
+  params.racks = 3;
+  params.workload.leak_fraction = 0.125;
+  params.node.freq_nominal_ghz = 2.1;
+  const auto cfg = sim::cluster_params_to_config(params);
+  const auto back = sim::cluster_params_from_config(
+      Config::from_text(cfg.to_text()));
+  EXPECT_EQ(back.racks, 3u);
+  EXPECT_DOUBLE_EQ(back.workload.leak_fraction, 0.125);
+  EXPECT_DOUBLE_EQ(back.node.freq_nominal_ghz, 2.1);
+}
+
+TEST(SimConfig, ConfigDrivenClusterRuns) {
+  const auto params = sim::cluster_params_from_config(Config::from_text(
+      "cluster.racks = 1\ncluster.nodes_per_rack = 2\ncluster.seed = 5\n"));
+  sim::ClusterSimulation cluster(params);
+  cluster.run_for(kHour);
+  EXPECT_GT(cluster.it_power_w(), 0.0);
+}
+
+// --------------------------------------------------- collector parallel path
+
+TEST(Integration, ParallelCollectorMatchesSerial) {
+  sim::ClusterParams params;
+  params.racks = 2;
+  params.nodes_per_rack = 8;  // > 64 sensors so the pool path engages
+  sim::ClusterSimulation cluster(params);
+  cluster.run_for(10 * kMinute);
+
+  telemetry::TimeSeriesStore serial_store, parallel_store;
+  ThreadPool pool(4);
+  telemetry::Collector serial(cluster, &serial_store, nullptr);
+  telemetry::Collector parallel(cluster, &parallel_store, nullptr, &pool);
+  serial.add_all_sensors(cluster.dt());
+  parallel.add_all_sensors(cluster.dt());
+  serial.collect();
+  parallel.collect();
+
+  // No sensor faults scheduled, so the readings must agree exactly.
+  for (const auto& path : serial_store.paths()) {
+    ASSERT_TRUE(parallel_store.latest(path).has_value()) << path;
+    EXPECT_DOUBLE_EQ(serial_store.latest(path)->value,
+                     parallel_store.latest(path)->value)
+        << path;
+  }
+}
+
+// ------------------------------------------------ derived sensors in the loop
+
+TEST(Integration, DerivedPueMatchesFacilitySensor) {
+  sim::ClusterParams params;
+  params.racks = 1;
+  params.nodes_per_rack = 4;
+  sim::ClusterSimulation cluster(params);
+  telemetry::TimeSeriesStore store;
+  telemetry::Collector collector(cluster, &store, nullptr);
+  collector.add_all_sensors(60);
+  telemetry::DerivedSensors derived(store);
+  derived.define_ratio("derived/pue", "facility/total_power", "cluster/it_power");
+  while (cluster.now() < kHour) {
+    cluster.step();
+    collector.collect();
+    derived.evaluate(cluster.now());
+  }
+  const auto direct = store.latest("facility/pue");
+  const auto computed = store.latest("derived/pue");
+  ASSERT_TRUE(direct && computed);
+  EXPECT_NEAR(direct->value, computed->value, 1e-9);
+}
+
+// ------------------------------------------- diagnostic -> prescriptive loop
+
+TEST(Integration, EniStyleDetectAndRespond) {
+  sim::ClusterParams params;
+  params.racks = 1;
+  params.nodes_per_rack = 4;
+  params.seed = 3;
+  sim::ClusterSimulation cluster(params);
+  telemetry::TimeSeriesStore store;
+  telemetry::Collector collector(cluster, &store, nullptr);
+  collector.add_all_sensors(60);
+
+  analytics::EwmaDetector detector(0.05, 5.0);
+  auto policy =
+      analytics::ResponsePolicy::standard(analytics::ResponseMode::kAutomatic);
+  std::vector<analytics::Actuation> log;
+
+  const TimePoint fault_at = 12 * kHour;
+  cluster.faults().schedule({sim::FaultKind::kPumpDegradation, "facility",
+                             fault_at, fault_at + kDay, 1.7});
+
+  bool responded = false;
+  TimePoint detected_at = -1;
+  while (cluster.now() < fault_at + 6 * kHour) {
+    cluster.step();
+    collector.collect();
+    if (cluster.now() % (5 * kMinute) == 0) {
+      const auto latest = store.latest("facility/pump_power");
+      if (!latest) continue;
+      detector.observe(latest->value);
+      if (cluster.now() > 2 * kHour && detector.score() >= 1.0 && !responded) {
+        responded = true;
+        detected_at = cluster.now();
+        policy.respond({"pump-degradation", "facility/cooling/pump", 1.0},
+                       cluster, log);
+      }
+    }
+  }
+  ASSERT_TRUE(responded);
+  EXPECT_GE(detected_at, fault_at);               // no false alarm before onset
+  EXPECT_LE(detected_at, fault_at + 2 * kHour);   // detected promptly
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log[0].knob, "facility/pump_speed");
+  EXPECT_GT(cluster.knobs().get("facility/pump_speed"), 1.0);
+}
+
+// ----------------------------------------- anomaly -> RCA composition
+
+TEST(Integration, MonitorFeedsRootCauseAnalysis) {
+  // A facility-wide condition (hot supply water) makes many nodes run hot;
+  // the RCA should blame the shared cooling rather than any node.
+  auto graph = analytics::DependencyGraph::standard_cluster(2, 4);
+  std::vector<std::string> symptomatic;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t n = 0; n < 4; ++n) {
+      symptomatic.push_back(sim::node_path(r, n));
+    }
+  }
+  const auto causes = graph.diagnose(symptomatic);
+  ASSERT_FALSE(causes.empty());
+  EXPECT_EQ(causes.front().component, "facility/cooling");
+}
+
+// --------------------------------------------- closed-loop DVFS on real sim
+
+TEST(Integration, EnergyGovernorSavesEnergyOnMemoryBoundWork) {
+  const auto run = [](bool governed) {
+    sim::ClusterParams params;
+    params.racks = 1;
+    params.nodes_per_rack = 4;
+    params.seed = 17;
+    sim::ClusterSimulation cluster(params);
+    cluster.set_workload_enabled(false);
+    for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+      sim::JobSpec spec;
+      spec.id = 100 + i;
+      spec.user = "u";
+      spec.nodes_requested = 1;
+      sim::JobPhase phase;
+      phase.nominal_duration = 48 * kHour;
+      phase.cpu_util = 0.6;
+      phase.mem_bw_util = 0.9;
+      phase.mem_boundedness = 0.85;  // frequency buys almost nothing
+      spec.phases = {phase};
+      spec.walltime_requested = 96 * kHour;
+      cluster.scheduler().submit(spec);
+    }
+    telemetry::TimeSeriesStore store;
+    telemetry::Collector collector(cluster, &store, nullptr);
+    collector.add_all_sensors(60);
+    analytics::ControlLoop loop(cluster, store);
+    if (governed) {
+      analytics::DvfsGovernor::Params gp;
+      gp.mode = analytics::DvfsGovernor::Mode::kEnergy;
+      loop.add(std::make_shared<analytics::DvfsGovernor>(gp));
+    }
+    while (cluster.now() < 8 * kHour) {
+      cluster.step();
+      collector.collect();
+      loop.tick();
+    }
+    double progress = 0.0;
+    for (const auto& job : cluster.scheduler().running()) {
+      progress += job.progress_s;
+    }
+    return std::pair<double, double>(cluster.it_energy_j(), progress);
+  };
+  const auto [baseline_energy, baseline_progress] = run(false);
+  const auto [governed_energy, governed_progress] = run(true);
+  EXPECT_LT(governed_energy, baseline_energy * 0.93);      // real saving
+  EXPECT_GT(governed_progress, baseline_progress * 0.90);  // little slowdown
+}
+
+// -------------------------------------------------- spectral on live trace
+
+TEST(Integration, SpectralForecastTracksDiurnalPower) {
+  sim::ClusterParams params;
+  params.seed = 83;
+  params.dt = 60;
+  params.workload.peak_arrival_rate_per_hour = 4.0;
+  params.workload.seed = 83;
+  sim::ClusterSimulation cluster(params);
+  telemetry::TimeSeriesStore store(1 << 17);
+  telemetry::Collector collector(cluster, &store, nullptr);
+  collector.add_group({"power", "facility/total_power", 5 * kMinute});
+  while (cluster.now() < 6 * kDay) {
+    cluster.step();
+    collector.collect();
+  }
+  const auto series = store.query_aggregated(
+      "facility/total_power", 0, cluster.now(), 15 * kMinute,
+      telemetry::Aggregation::kMean);
+  analytics::SpectralForecaster spectral(6);
+  spectral.fit(series.values);
+  // The daily cycle must be among the dominant recovered components.
+  bool found_daily = false;
+  for (const auto& c : spectral.components()) {
+    const double period_h = c.frequency > 0.0 ? 0.25 / c.frequency : 0.0;
+    if (period_h > 20.0 && period_h < 28.0) found_daily = true;
+  }
+  EXPECT_TRUE(found_daily);
+}
+
+// -------------------------------------------- fingerprint on live job trace
+
+TEST(Integration, MinerDetectionOnLiveCluster) {
+  sim::ClusterParams params;
+  params.seed = 43;
+  params.dt = 30;
+  params.workload.peak_arrival_rate_per_hour = 70.0;
+  params.workload.max_duration = kHour;
+  params.workload.min_duration = 20 * kMinute;
+  params.workload.miner_fraction = 0.15;
+  sim::ClusterSimulation cluster(params);
+  telemetry::TimeSeriesStore store(1 << 16);
+  telemetry::Collector collector(cluster, &store, nullptr);
+  collector.add_all_sensors(60);
+  while (cluster.now() < kDay) {
+    cluster.step();
+    collector.collect();
+  }
+  std::vector<std::string> prefixes;
+  for (std::size_t i = 0; i < cluster.node_count(); ++i) {
+    prefixes.push_back(cluster.node(i).path());
+  }
+  const auto& completed = cluster.scheduler().completed();
+  ASSERT_GT(completed.size(), 60u);
+
+  analytics::ApplicationFingerprinter fp;
+  Rng rng(47);
+  const std::size_t split = completed.size() / 2;
+  for (std::size_t i = 0; i < split; ++i) {
+    if (completed[i].run_time() < 10 * kMinute) continue;
+    fp.add_training(completed[i].spec.job_class == sim::JobClass::kCryptoMiner
+                        ? "miner"
+                        : "regular",
+                    analytics::job_signature(store, completed[i], prefixes));
+  }
+  fp.train(rng);
+  std::size_t correct = 0, total = 0;
+  for (std::size_t i = split; i < completed.size(); ++i) {
+    if (completed[i].run_time() < 10 * kMinute) continue;
+    const bool truth =
+        completed[i].spec.job_class == sim::JobClass::kCryptoMiner;
+    const auto pred = fp.predict_forest(
+        analytics::job_signature(store, completed[i], prefixes));
+    correct += (pred.label == "miner") == truth;
+    ++total;
+  }
+  ASSERT_GT(total, 20u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.9);
+}
+
+// ----------------------------------------------------- framework extensions
+
+TEST(Core, SystemSimilarityAndComprehensiveness) {
+  const auto systems = core::published_example_systems();
+  // GEOPM and DRAS-CQSim both occupy predictive+prescriptive (different
+  // pillars) -> zero cell overlap; GEOPM vs PowerStack overlap strongly.
+  const auto find = [&](const char* name) {
+    for (const auto& s : systems) {
+      if (s.name.find(name) != std::string::npos) return s;
+    }
+    throw ContractError("system not found");
+  };
+  EXPECT_DOUBLE_EQ(core::system_similarity(find("GEOPM"), find("GEOPM")), 1.0);
+  EXPECT_GT(core::system_similarity(find("GEOPM"), find("PowerStack")), 0.3);
+  EXPECT_DOUBLE_EQ(core::system_similarity(find("GEOPM"), find("ClusterCockpit")),
+                   0.0);
+  EXPECT_GT(core::comprehensiveness(find("PowerStack")),
+            core::comprehensiveness(find("ClusterCockpit")));
+  const auto matrix = core::render_similarity_matrix(systems);
+  EXPECT_NE(matrix.find("1.00"), std::string::npos);
+}
+
+TEST(Core, RoadmapRenderForPartialSite) {
+  core::FrameworkGrid site;
+  core::CapabilityDescriptor dash;
+  dash.id = "d";
+  dash.name = "dashboards";
+  dash.cells = {{core::Pillar::kSystemHardware, core::AnalyticsType::kDescriptive}};
+  site.register_capability(dash);
+  const auto report = site.render_roadmap();
+  EXPECT_NE(report.find("diagnostic"), std::string::npos);
+  EXPECT_NE(report.find("applications"), std::string::npos);
+
+  const auto full = core::implemented_capabilities().render_roadmap();
+  EXPECT_NE(full.find("already covered"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oda

@@ -1,0 +1,305 @@
+// Tests for the telemetry pipeline: catalog, bus, store, collector, alerts,
+// and derived sensors — including the sim -> store integration path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/cluster.hpp"
+#include "telemetry/alerts.hpp"
+#include "telemetry/bus.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/derived.hpp"
+#include "telemetry/sample.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::telemetry {
+namespace {
+
+// ---------------------------------------------------------------- catalog
+
+TEST(SensorCatalog, AddFindMatch) {
+  SensorCatalog cat;
+  cat.add({"rack00/node00/power", "W"});
+  cat.add({"rack00/node00/cpu_temp", "degC"});
+  cat.add({"facility/pue", "ratio"});
+  EXPECT_TRUE(cat.contains("facility/pue"));
+  EXPECT_EQ(cat.find("rack00/node00/power")->unit, "W");
+  EXPECT_EQ(cat.match("rack00/node00/*").size(), 2u);
+  EXPECT_EQ(cat.match("*").size(), 3u);
+  EXPECT_TRUE(cat.match("nothing/*").empty());
+}
+
+TEST(SensorCatalog, ReAddUpdates) {
+  SensorCatalog cat;
+  cat.add({"s", "W"});
+  cat.add({"s", "kW"});
+  EXPECT_EQ(cat.size(), 1u);
+  EXPECT_EQ(cat.find("s")->unit, "kW");
+}
+
+// -------------------------------------------------------------------- bus
+
+TEST(MessageBus, DeliversToMatchingSubscribers) {
+  MessageBus bus;
+  int node_hits = 0, all_hits = 0;
+  bus.subscribe("rack*/node*/power", [&](const Reading&) { ++node_hits; });
+  bus.subscribe("*", [&](const Reading&) { ++all_hits; });
+  bus.publish("rack00/node01/power", 10, 150.0);
+  bus.publish("facility/pue", 10, 1.3);
+  EXPECT_EQ(node_hits, 1);
+  EXPECT_EQ(all_hits, 2);
+  EXPECT_EQ(bus.published_count(), 2u);
+  EXPECT_EQ(bus.delivered_count(), 3u);
+}
+
+TEST(MessageBus, UnsubscribeStopsDelivery) {
+  MessageBus bus;
+  int hits = 0;
+  const auto id = bus.subscribe("*", [&](const Reading&) { ++hits; });
+  bus.publish("x", 0, 1.0);
+  bus.unsubscribe(id);
+  bus.publish("x", 0, 1.0);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(bus.subscriber_count(), 0u);
+}
+
+TEST(MessageBus, ReentrantPublishDoesNotDeadlock) {
+  MessageBus bus;
+  int secondary = 0;
+  bus.subscribe("primary", [&](const Reading& r) {
+    bus.publish("secondary", r.sample.time, r.sample.value * 2.0);
+  });
+  bus.subscribe("secondary", [&](const Reading&) { ++secondary; });
+  bus.publish("primary", 0, 1.0);
+  EXPECT_EQ(secondary, 1);
+}
+
+// ------------------------------------------------------------------ store
+
+TEST(Store, InsertAndQueryRange) {
+  TimeSeriesStore store;
+  for (TimePoint t = 0; t < 100; t += 10) {
+    store.insert("s", {t, static_cast<double>(t)});
+  }
+  const auto slice = store.query("s", 20, 60);
+  ASSERT_EQ(slice.size(), 4u);
+  EXPECT_EQ(slice.times.front(), 20);
+  EXPECT_EQ(slice.times.back(), 50);
+  EXPECT_EQ(store.sample_count("s"), 10u);
+}
+
+TEST(Store, LatestAndMissing) {
+  TimeSeriesStore store;
+  EXPECT_FALSE(store.latest("nope").has_value());
+  store.insert("s", {5, 1.5});
+  store.insert("s", {6, 2.5});
+  EXPECT_DOUBLE_EQ(store.latest("s")->value, 2.5);
+  EXPECT_TRUE(store.query("nope", 0, 100).empty());
+}
+
+TEST(Store, CapacityBoundsRetention) {
+  TimeSeriesStore store(4);
+  for (TimePoint t = 0; t < 10; ++t) store.insert("s", {t, 0.0});
+  EXPECT_EQ(store.sample_count("s"), 4u);
+  const auto slice = store.query_all("s");
+  EXPECT_EQ(slice.times.front(), 6);
+}
+
+TEST(Store, AggregatedBuckets) {
+  TimeSeriesStore store;
+  for (TimePoint t = 0; t < 60; ++t) {
+    store.insert("s", {t, static_cast<double>(t < 30 ? 10 : 20)});
+  }
+  const auto agg = store.query_aggregated("s", 0, 60, 30, Aggregation::kMean);
+  ASSERT_EQ(agg.size(), 2u);
+  EXPECT_DOUBLE_EQ(agg.values[0], 10.0);
+  EXPECT_DOUBLE_EQ(agg.values[1], 20.0);
+  const auto mx = store.query_aggregated("s", 0, 60, 60, Aggregation::kMax);
+  EXPECT_DOUBLE_EQ(mx.values[0], 20.0);
+  const auto cnt = store.query_aggregated("s", 0, 60, 60, Aggregation::kCount);
+  EXPECT_DOUBLE_EQ(cnt.values[0], 60.0);
+}
+
+TEST(Store, FrameAlignsMultipleSensors) {
+  TimeSeriesStore store;
+  for (TimePoint t = 0; t < 40; t += 10) {
+    store.insert("a", {t, 1.0});
+    if (t < 20) store.insert("b", {t, 2.0});  // b stops early
+  }
+  const auto f = store.frame({"a", "b"}, 0, 40, 10);
+  ASSERT_EQ(f.rows(), 4u);
+  ASSERT_EQ(f.cols(), 2u);
+  EXPECT_DOUBLE_EQ(f.values[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(f.values[0][1], 2.0);
+  EXPECT_TRUE(std::isnan(f.values[3][1]));  // missing data is NaN
+  const auto col = f.column("a");
+  EXPECT_EQ(col.size(), 4u);
+  EXPECT_THROW(f.column("zzz"), ContractError);
+}
+
+TEST(Store, MatchGlob) {
+  TimeSeriesStore store;
+  store.insert("rack00/node00/power", {0, 1.0});
+  store.insert("rack00/node01/power", {0, 1.0});
+  store.insert("facility/pue", {0, 1.0});
+  EXPECT_EQ(store.match("rack*/node*/power").size(), 2u);
+}
+
+// -------------------------------------------------------------- collector
+
+TEST(Collector, SamplesIntoStoreAtPeriod) {
+  sim::ClusterParams params;
+  params.racks = 1;
+  params.nodes_per_rack = 2;
+  params.dt = 15;
+  sim::ClusterSimulation cluster(params);
+  TimeSeriesStore store;
+  Collector collector(cluster, &store, nullptr);
+  collector.add_group({"facility", "facility/*", 30});
+  for (int i = 0; i < 8; ++i) {  // 2 minutes at dt=15
+    cluster.step();
+    collector.collect();
+  }
+  // period 30 with dt 15 -> every other step.
+  EXPECT_EQ(store.sample_count("facility/pue"), 4u);
+  EXPECT_EQ(store.sample_count("weather/drybulb_temp"), 0u);  // not in group
+}
+
+TEST(Collector, PublishesToBus) {
+  sim::ClusterParams params;
+  params.racks = 1;
+  params.nodes_per_rack = 2;
+  sim::ClusterSimulation cluster(params);
+  MessageBus bus;
+  std::atomic<int> readings{0};
+  bus.subscribe("rack00/*", [&](const Reading&) { ++readings; });
+  Collector collector(cluster, nullptr, &bus);
+  collector.add_all_sensors(15);
+  cluster.step();
+  collector.collect();
+  EXPECT_GT(readings.load(), 0);
+}
+
+TEST(Collector, GroupReportsMatchedCount) {
+  sim::ClusterParams params;
+  params.racks = 2;
+  params.nodes_per_rack = 4;
+  sim::ClusterSimulation cluster(params);
+  Collector collector(cluster, nullptr, nullptr);
+  EXPECT_EQ(collector.add_group({"power", "rack*/node*/power", 60}), 8u);
+}
+
+// ----------------------------------------------------------------- alerts
+
+TEST(Alerts, FiresAfterHoldAndClearsWithHysteresis) {
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "hot";
+  rule.sensor_pattern = "t";
+  rule.threshold = 80.0;
+  rule.hold = 20;
+  rule.hysteresis = 5.0;
+  engine.add_rule(rule);
+
+  engine.observe({"t", {0, 85.0}});   // violation starts
+  EXPECT_EQ(engine.active_count(), 0u);  // hold not elapsed
+  engine.observe({"t", {10, 86.0}});
+  EXPECT_EQ(engine.active_count(), 0u);
+  engine.observe({"t", {25, 87.0}});
+  EXPECT_EQ(engine.active_count(), 1u);  // fired
+  engine.observe({"t", {30, 78.0}});     // below threshold but inside hysteresis
+  EXPECT_EQ(engine.active_count(), 1u);
+  engine.observe({"t", {35, 74.0}});     // below threshold - hysteresis
+  EXPECT_EQ(engine.active_count(), 0u);
+  ASSERT_EQ(engine.history().size(), 1u);
+  EXPECT_TRUE(engine.history()[0].cleared);
+}
+
+TEST(Alerts, ViolationInterruptedResetsHold) {
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "hot";
+  rule.sensor_pattern = "t";
+  rule.threshold = 80.0;
+  rule.hold = 20;
+  engine.add_rule(rule);
+  engine.observe({"t", {0, 85.0}});
+  engine.observe({"t", {10, 70.0}});  // back to normal
+  engine.observe({"t", {15, 85.0}});
+  engine.observe({"t", {30, 85.0}});  // only 15s of continuous violation
+  EXPECT_EQ(engine.active_count(), 0u);
+  engine.observe({"t", {40, 85.0}});
+  EXPECT_EQ(engine.active_count(), 1u);
+}
+
+TEST(Alerts, BelowComparisonAndCallback) {
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "flow-low";
+  rule.sensor_pattern = "flow";
+  rule.comparison = AlertComparison::kBelow;
+  rule.threshold = 1.0;
+  rule.severity = AlertSeverity::kCritical;
+  engine.add_rule(rule);
+  int callbacks = 0;
+  engine.set_callback([&](const Alert& a) {
+    ++callbacks;
+    EXPECT_EQ(a.severity, AlertSeverity::kCritical);
+  });
+  engine.observe({"flow", {0, 0.2}});
+  EXPECT_EQ(engine.active_count(), 1u);
+  EXPECT_EQ(callbacks, 1);
+}
+
+TEST(Alerts, PerSensorStateIndependent) {
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "hot";
+  rule.sensor_pattern = "rack*/temp";
+  rule.threshold = 50.0;
+  engine.add_rule(rule);
+  engine.observe({"rack0/temp", {0, 60.0}});
+  engine.observe({"rack1/temp", {0, 40.0}});
+  EXPECT_EQ(engine.active_count(), 1u);
+  EXPECT_EQ(engine.active()[0].sensor, "rack0/temp");
+}
+
+// ---------------------------------------------------------------- derived
+
+TEST(Derived, RatioAndSum) {
+  TimeSeriesStore store;
+  store.insert("a", {0, 10.0});
+  store.insert("b", {0, 4.0});
+  DerivedSensors derived(store);
+  derived.define_ratio("r", "a", "b");
+  derived.define("total", {"a", "b"}, [](const std::vector<double>& v) {
+    return v[0] + v[1];
+  });
+  derived.evaluate(0);
+  EXPECT_DOUBLE_EQ(store.latest("r")->value, 2.5);
+  EXPECT_DOUBLE_EQ(store.latest("total")->value, 14.0);
+}
+
+TEST(Derived, SkipsWhenInputMissing) {
+  TimeSeriesStore store;
+  store.insert("a", {0, 1.0});
+  DerivedSensors derived(store);
+  derived.define_ratio("r", "a", "missing");
+  derived.evaluate(0);
+  EXPECT_FALSE(store.latest("r").has_value());
+}
+
+TEST(Derived, SumOverPattern) {
+  TimeSeriesStore store;
+  store.insert("rack0/power", {0, 100.0});
+  store.insert("rack1/power", {0, 150.0});
+  DerivedSensors derived(store);
+  derived.define_sum("total_power", "rack*/power");
+  derived.evaluate(0);
+  EXPECT_DOUBLE_EQ(store.latest("total_power")->value, 250.0);
+}
+
+}  // namespace
+}  // namespace oda::telemetry
