@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_infrastructure.dir/bench_infrastructure.cpp.o"
+  "CMakeFiles/bench_infrastructure.dir/bench_infrastructure.cpp.o.d"
+  "bench_infrastructure"
+  "bench_infrastructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_llnl_power.dir/bench_llnl_power.cpp.o"
+  "CMakeFiles/bench_llnl_power.dir/bench_llnl_power.cpp.o.d"
+  "bench_llnl_power"
+  "bench_llnl_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_llnl_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multipillar.dir/bench_multipillar.cpp.o"
+  "CMakeFiles/bench_multipillar.dir/bench_multipillar.cpp.o.d"
+  "bench_multipillar"
+  "bench_multipillar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multipillar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multitype.dir/bench_multitype.cpp.o"
+  "CMakeFiles/bench_multitype.dir/bench_multitype.cpp.o.d"
+  "bench_multitype"
+  "bench_multitype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multitype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eni_cooling.dir/eni_cooling.cpp.o"
+  "CMakeFiles/eni_cooling.dir/eni_cooling.cpp.o.d"
+  "eni_cooling"
+  "eni_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eni_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eni_cooling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/export_trace.cpp" "examples/CMakeFiles/export_trace.dir/export_trace.cpp.o" "gcc" "examples/CMakeFiles/export_trace.dir/export_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/oda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/predictive/CMakeFiles/oda_predictive.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/descriptive/CMakeFiles/oda_descriptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/oda_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/oda_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

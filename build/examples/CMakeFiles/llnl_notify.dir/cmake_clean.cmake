@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llnl_notify.dir/llnl_notify.cpp.o"
+  "CMakeFiles/llnl_notify.dir/llnl_notify.cpp.o.d"
+  "llnl_notify"
+  "llnl_notify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llnl_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

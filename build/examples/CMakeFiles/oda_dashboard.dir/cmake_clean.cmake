@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_dashboard.dir/oda_dashboard.cpp.o"
+  "CMakeFiles/oda_dashboard.dir/oda_dashboard.cpp.o.d"
+  "oda_dashboard"
+  "oda_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

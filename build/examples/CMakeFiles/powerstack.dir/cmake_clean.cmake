@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerstack.dir/powerstack.cpp.o"
+  "CMakeFiles/powerstack.dir/powerstack.cpp.o.d"
+  "powerstack"
+  "powerstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/descriptive/aggregation.cpp" "src/analytics/descriptive/CMakeFiles/oda_descriptive.dir/aggregation.cpp.o" "gcc" "src/analytics/descriptive/CMakeFiles/oda_descriptive.dir/aggregation.cpp.o.d"
+  "/root/repo/src/analytics/descriptive/dashboard.cpp" "src/analytics/descriptive/CMakeFiles/oda_descriptive.dir/dashboard.cpp.o" "gcc" "src/analytics/descriptive/CMakeFiles/oda_descriptive.dir/dashboard.cpp.o.d"
+  "/root/repo/src/analytics/descriptive/kpi.cpp" "src/analytics/descriptive/CMakeFiles/oda_descriptive.dir/kpi.cpp.o" "gcc" "src/analytics/descriptive/CMakeFiles/oda_descriptive.dir/kpi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/oda_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/oda_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_descriptive.dir/aggregation.cpp.o"
+  "CMakeFiles/oda_descriptive.dir/aggregation.cpp.o.d"
+  "CMakeFiles/oda_descriptive.dir/dashboard.cpp.o"
+  "CMakeFiles/oda_descriptive.dir/dashboard.cpp.o.d"
+  "CMakeFiles/oda_descriptive.dir/kpi.cpp.o"
+  "CMakeFiles/oda_descriptive.dir/kpi.cpp.o.d"
+  "liboda_descriptive.a"
+  "liboda_descriptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_descriptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

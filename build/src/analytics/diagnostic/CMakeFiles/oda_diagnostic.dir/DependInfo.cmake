@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/diagnostic/anomaly.cpp" "src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/anomaly.cpp.o" "gcc" "src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/anomaly.cpp.o.d"
+  "/root/repo/src/analytics/diagnostic/contention.cpp" "src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/contention.cpp.o" "gcc" "src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/contention.cpp.o.d"
+  "/root/repo/src/analytics/diagnostic/fingerprint.cpp" "src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/fingerprint.cpp.o" "gcc" "src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/analytics/diagnostic/rootcause.cpp" "src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/rootcause.cpp.o" "gcc" "src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/rootcause.cpp.o.d"
+  "/root/repo/src/analytics/diagnostic/software.cpp" "src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/software.cpp.o" "gcc" "src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/software.cpp.o.d"
+  "/root/repo/src/analytics/diagnostic/stress_test.cpp" "src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/stress_test.cpp.o" "gcc" "src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/oda_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/oda_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

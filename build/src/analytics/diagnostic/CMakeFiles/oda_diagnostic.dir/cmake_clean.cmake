@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_diagnostic.dir/anomaly.cpp.o"
+  "CMakeFiles/oda_diagnostic.dir/anomaly.cpp.o.d"
+  "CMakeFiles/oda_diagnostic.dir/contention.cpp.o"
+  "CMakeFiles/oda_diagnostic.dir/contention.cpp.o.d"
+  "CMakeFiles/oda_diagnostic.dir/fingerprint.cpp.o"
+  "CMakeFiles/oda_diagnostic.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/oda_diagnostic.dir/rootcause.cpp.o"
+  "CMakeFiles/oda_diagnostic.dir/rootcause.cpp.o.d"
+  "CMakeFiles/oda_diagnostic.dir/software.cpp.o"
+  "CMakeFiles/oda_diagnostic.dir/software.cpp.o.d"
+  "CMakeFiles/oda_diagnostic.dir/stress_test.cpp.o"
+  "CMakeFiles/oda_diagnostic.dir/stress_test.cpp.o.d"
+  "liboda_diagnostic.a"
+  "liboda_diagnostic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_diagnostic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/predictive/backtest.cpp" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/backtest.cpp.o" "gcc" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/backtest.cpp.o.d"
+  "/root/repo/src/analytics/predictive/failure.cpp" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/failure.cpp.o" "gcc" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/failure.cpp.o.d"
+  "/root/repo/src/analytics/predictive/forecaster.cpp" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/forecaster.cpp.o" "gcc" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/forecaster.cpp.o.d"
+  "/root/repo/src/analytics/predictive/jobs.cpp" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/jobs.cpp.o" "gcc" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/jobs.cpp.o.d"
+  "/root/repo/src/analytics/predictive/spectral.cpp" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/spectral.cpp.o" "gcc" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/spectral.cpp.o.d"
+  "/root/repo/src/analytics/predictive/whatif.cpp" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/whatif.cpp.o" "gcc" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/whatif.cpp.o.d"
+  "/root/repo/src/analytics/predictive/workload_forecast.cpp" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/workload_forecast.cpp.o" "gcc" "src/analytics/predictive/CMakeFiles/oda_predictive.dir/workload_forecast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/oda_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/oda_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/descriptive/CMakeFiles/oda_descriptive.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_predictive.dir/backtest.cpp.o"
+  "CMakeFiles/oda_predictive.dir/backtest.cpp.o.d"
+  "CMakeFiles/oda_predictive.dir/failure.cpp.o"
+  "CMakeFiles/oda_predictive.dir/failure.cpp.o.d"
+  "CMakeFiles/oda_predictive.dir/forecaster.cpp.o"
+  "CMakeFiles/oda_predictive.dir/forecaster.cpp.o.d"
+  "CMakeFiles/oda_predictive.dir/jobs.cpp.o"
+  "CMakeFiles/oda_predictive.dir/jobs.cpp.o.d"
+  "CMakeFiles/oda_predictive.dir/spectral.cpp.o"
+  "CMakeFiles/oda_predictive.dir/spectral.cpp.o.d"
+  "CMakeFiles/oda_predictive.dir/whatif.cpp.o"
+  "CMakeFiles/oda_predictive.dir/whatif.cpp.o.d"
+  "CMakeFiles/oda_predictive.dir/workload_forecast.cpp.o"
+  "CMakeFiles/oda_predictive.dir/workload_forecast.cpp.o.d"
+  "liboda_predictive.a"
+  "liboda_predictive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_predictive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/prescriptive/autotune.cpp" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/autotune.cpp.o" "gcc" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/autotune.cpp.o.d"
+  "/root/repo/src/analytics/prescriptive/controller.cpp" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/controller.cpp.o" "gcc" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/controller.cpp.o.d"
+  "/root/repo/src/analytics/prescriptive/cooling.cpp" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/cooling.cpp.o" "gcc" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/cooling.cpp.o.d"
+  "/root/repo/src/analytics/prescriptive/dvfs.cpp" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/dvfs.cpp.o" "gcc" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/dvfs.cpp.o.d"
+  "/root/repo/src/analytics/prescriptive/placement.cpp" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/placement.cpp.o" "gcc" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/placement.cpp.o.d"
+  "/root/repo/src/analytics/prescriptive/powercap.cpp" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/powercap.cpp.o" "gcc" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/powercap.cpp.o.d"
+  "/root/repo/src/analytics/prescriptive/recommend.cpp" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/recommend.cpp.o" "gcc" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/recommend.cpp.o.d"
+  "/root/repo/src/analytics/prescriptive/response.cpp" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/response.cpp.o" "gcc" "src/analytics/prescriptive/CMakeFiles/oda_prescriptive.dir/response.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/oda_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/oda_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/predictive/CMakeFiles/oda_predictive.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/diagnostic/CMakeFiles/oda_diagnostic.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/descriptive/CMakeFiles/oda_descriptive.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

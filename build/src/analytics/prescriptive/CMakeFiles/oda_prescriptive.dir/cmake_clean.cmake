@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_prescriptive.dir/autotune.cpp.o"
+  "CMakeFiles/oda_prescriptive.dir/autotune.cpp.o.d"
+  "CMakeFiles/oda_prescriptive.dir/controller.cpp.o"
+  "CMakeFiles/oda_prescriptive.dir/controller.cpp.o.d"
+  "CMakeFiles/oda_prescriptive.dir/cooling.cpp.o"
+  "CMakeFiles/oda_prescriptive.dir/cooling.cpp.o.d"
+  "CMakeFiles/oda_prescriptive.dir/dvfs.cpp.o"
+  "CMakeFiles/oda_prescriptive.dir/dvfs.cpp.o.d"
+  "CMakeFiles/oda_prescriptive.dir/placement.cpp.o"
+  "CMakeFiles/oda_prescriptive.dir/placement.cpp.o.d"
+  "CMakeFiles/oda_prescriptive.dir/powercap.cpp.o"
+  "CMakeFiles/oda_prescriptive.dir/powercap.cpp.o.d"
+  "CMakeFiles/oda_prescriptive.dir/recommend.cpp.o"
+  "CMakeFiles/oda_prescriptive.dir/recommend.cpp.o.d"
+  "CMakeFiles/oda_prescriptive.dir/response.cpp.o"
+  "CMakeFiles/oda_prescriptive.dir/response.cpp.o.d"
+  "liboda_prescriptive.a"
+  "liboda_prescriptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_prescriptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_common.dir/config.cpp.o"
+  "CMakeFiles/oda_common.dir/config.cpp.o.d"
+  "CMakeFiles/oda_common.dir/csv.cpp.o"
+  "CMakeFiles/oda_common.dir/csv.cpp.o.d"
+  "CMakeFiles/oda_common.dir/log.cpp.o"
+  "CMakeFiles/oda_common.dir/log.cpp.o.d"
+  "CMakeFiles/oda_common.dir/rng.cpp.o"
+  "CMakeFiles/oda_common.dir/rng.cpp.o.d"
+  "CMakeFiles/oda_common.dir/stats.cpp.o"
+  "CMakeFiles/oda_common.dir/stats.cpp.o.d"
+  "CMakeFiles/oda_common.dir/string_util.cpp.o"
+  "CMakeFiles/oda_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/oda_common.dir/table.cpp.o"
+  "CMakeFiles/oda_common.dir/table.cpp.o.d"
+  "CMakeFiles/oda_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/oda_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/oda_common.dir/types.cpp.o"
+  "CMakeFiles/oda_common.dir/types.cpp.o.d"
+  "liboda_common.a"
+  "liboda_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

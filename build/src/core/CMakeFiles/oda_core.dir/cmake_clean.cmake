@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_core.dir/bindings.cpp.o"
+  "CMakeFiles/oda_core.dir/bindings.cpp.o.d"
+  "CMakeFiles/oda_core.dir/figures.cpp.o"
+  "CMakeFiles/oda_core.dir/figures.cpp.o.d"
+  "CMakeFiles/oda_core.dir/grid.cpp.o"
+  "CMakeFiles/oda_core.dir/grid.cpp.o.d"
+  "CMakeFiles/oda_core.dir/oda_system.cpp.o"
+  "CMakeFiles/oda_core.dir/oda_system.cpp.o.d"
+  "CMakeFiles/oda_core.dir/pillars.cpp.o"
+  "CMakeFiles/oda_core.dir/pillars.cpp.o.d"
+  "CMakeFiles/oda_core.dir/survey_catalog.cpp.o"
+  "CMakeFiles/oda_core.dir/survey_catalog.cpp.o.d"
+  "liboda_core.a"
+  "liboda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

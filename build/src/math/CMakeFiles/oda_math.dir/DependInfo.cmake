@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/ar_model.cpp" "src/math/CMakeFiles/oda_math.dir/ar_model.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/ar_model.cpp.o.d"
+  "/root/repo/src/math/decision_tree.cpp" "src/math/CMakeFiles/oda_math.dir/decision_tree.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/math/distance.cpp" "src/math/CMakeFiles/oda_math.dir/distance.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/distance.cpp.o.d"
+  "/root/repo/src/math/entropy.cpp" "src/math/CMakeFiles/oda_math.dir/entropy.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/entropy.cpp.o.d"
+  "/root/repo/src/math/fft.cpp" "src/math/CMakeFiles/oda_math.dir/fft.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/fft.cpp.o.d"
+  "/root/repo/src/math/isolation_forest.cpp" "src/math/CMakeFiles/oda_math.dir/isolation_forest.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/isolation_forest.cpp.o.d"
+  "/root/repo/src/math/kmeans.cpp" "src/math/CMakeFiles/oda_math.dir/kmeans.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/kmeans.cpp.o.d"
+  "/root/repo/src/math/knn.cpp" "src/math/CMakeFiles/oda_math.dir/knn.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/knn.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "src/math/CMakeFiles/oda_math.dir/matrix.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/matrix.cpp.o.d"
+  "/root/repo/src/math/optimize.cpp" "src/math/CMakeFiles/oda_math.dir/optimize.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/optimize.cpp.o.d"
+  "/root/repo/src/math/pca.cpp" "src/math/CMakeFiles/oda_math.dir/pca.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/pca.cpp.o.d"
+  "/root/repo/src/math/regression.cpp" "src/math/CMakeFiles/oda_math.dir/regression.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/regression.cpp.o.d"
+  "/root/repo/src/math/smoothing.cpp" "src/math/CMakeFiles/oda_math.dir/smoothing.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/smoothing.cpp.o.d"
+  "/root/repo/src/math/timeseries.cpp" "src/math/CMakeFiles/oda_math.dir/timeseries.cpp.o" "gcc" "src/math/CMakeFiles/oda_math.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_math.dir/ar_model.cpp.o"
+  "CMakeFiles/oda_math.dir/ar_model.cpp.o.d"
+  "CMakeFiles/oda_math.dir/decision_tree.cpp.o"
+  "CMakeFiles/oda_math.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/oda_math.dir/distance.cpp.o"
+  "CMakeFiles/oda_math.dir/distance.cpp.o.d"
+  "CMakeFiles/oda_math.dir/entropy.cpp.o"
+  "CMakeFiles/oda_math.dir/entropy.cpp.o.d"
+  "CMakeFiles/oda_math.dir/fft.cpp.o"
+  "CMakeFiles/oda_math.dir/fft.cpp.o.d"
+  "CMakeFiles/oda_math.dir/isolation_forest.cpp.o"
+  "CMakeFiles/oda_math.dir/isolation_forest.cpp.o.d"
+  "CMakeFiles/oda_math.dir/kmeans.cpp.o"
+  "CMakeFiles/oda_math.dir/kmeans.cpp.o.d"
+  "CMakeFiles/oda_math.dir/knn.cpp.o"
+  "CMakeFiles/oda_math.dir/knn.cpp.o.d"
+  "CMakeFiles/oda_math.dir/matrix.cpp.o"
+  "CMakeFiles/oda_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/oda_math.dir/optimize.cpp.o"
+  "CMakeFiles/oda_math.dir/optimize.cpp.o.d"
+  "CMakeFiles/oda_math.dir/pca.cpp.o"
+  "CMakeFiles/oda_math.dir/pca.cpp.o.d"
+  "CMakeFiles/oda_math.dir/regression.cpp.o"
+  "CMakeFiles/oda_math.dir/regression.cpp.o.d"
+  "CMakeFiles/oda_math.dir/smoothing.cpp.o"
+  "CMakeFiles/oda_math.dir/smoothing.cpp.o.d"
+  "CMakeFiles/oda_math.dir/timeseries.cpp.o"
+  "CMakeFiles/oda_math.dir/timeseries.cpp.o.d"
+  "liboda_math.a"
+  "liboda_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/oda_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/oda_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/oda_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/oda_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/oda_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/oda_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/facility.cpp" "src/sim/CMakeFiles/oda_sim.dir/facility.cpp.o" "gcc" "src/sim/CMakeFiles/oda_sim.dir/facility.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/sim/CMakeFiles/oda_sim.dir/faults.cpp.o" "gcc" "src/sim/CMakeFiles/oda_sim.dir/faults.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/oda_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/oda_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/sim/CMakeFiles/oda_sim.dir/node.cpp.o" "gcc" "src/sim/CMakeFiles/oda_sim.dir/node.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/oda_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/oda_sim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sim/weather.cpp" "src/sim/CMakeFiles/oda_sim.dir/weather.cpp.o" "gcc" "src/sim/CMakeFiles/oda_sim.dir/weather.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/oda_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/oda_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/oda_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_sim.dir/cluster.cpp.o"
+  "CMakeFiles/oda_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/oda_sim.dir/config.cpp.o"
+  "CMakeFiles/oda_sim.dir/config.cpp.o.d"
+  "CMakeFiles/oda_sim.dir/engine.cpp.o"
+  "CMakeFiles/oda_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/oda_sim.dir/facility.cpp.o"
+  "CMakeFiles/oda_sim.dir/facility.cpp.o.d"
+  "CMakeFiles/oda_sim.dir/faults.cpp.o"
+  "CMakeFiles/oda_sim.dir/faults.cpp.o.d"
+  "CMakeFiles/oda_sim.dir/network.cpp.o"
+  "CMakeFiles/oda_sim.dir/network.cpp.o.d"
+  "CMakeFiles/oda_sim.dir/node.cpp.o"
+  "CMakeFiles/oda_sim.dir/node.cpp.o.d"
+  "CMakeFiles/oda_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/oda_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/oda_sim.dir/weather.cpp.o"
+  "CMakeFiles/oda_sim.dir/weather.cpp.o.d"
+  "CMakeFiles/oda_sim.dir/workload.cpp.o"
+  "CMakeFiles/oda_sim.dir/workload.cpp.o.d"
+  "liboda_sim.a"
+  "liboda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/alerts.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/alerts.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/alerts.cpp.o.d"
+  "/root/repo/src/telemetry/bus.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/bus.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/bus.cpp.o.d"
+  "/root/repo/src/telemetry/collector.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/collector.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/collector.cpp.o.d"
+  "/root/repo/src/telemetry/derived.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/derived.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/derived.cpp.o.d"
+  "/root/repo/src/telemetry/sample.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/sample.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/sample.cpp.o.d"
+  "/root/repo/src/telemetry/store.cpp" "src/telemetry/CMakeFiles/oda_telemetry.dir/store.cpp.o" "gcc" "src/telemetry/CMakeFiles/oda_telemetry.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oda_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/oda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/oda_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oda_telemetry.dir/alerts.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/alerts.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/bus.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/bus.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/collector.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/collector.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/derived.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/derived.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/sample.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/sample.cpp.o.d"
+  "CMakeFiles/oda_telemetry.dir/store.cpp.o"
+  "CMakeFiles/oda_telemetry.dir/store.cpp.o.d"
+  "liboda_telemetry.a"
+  "liboda_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oda_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diagnostic.dir/test_diagnostic.cpp.o"
+  "CMakeFiles/test_diagnostic.dir/test_diagnostic.cpp.o.d"
+  "test_diagnostic"
+  "test_diagnostic.pdb"
+  "test_diagnostic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diagnostic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_models.dir/test_math_models.cpp.o"
+  "CMakeFiles/test_math_models.dir/test_math_models.cpp.o.d"
+  "test_math_models"
+  "test_math_models.pdb"
+  "test_math_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prescriptive.dir/test_prescriptive.cpp.o"
+  "CMakeFiles/test_prescriptive.dir/test_prescriptive.cpp.o.d"
+  "test_prescriptive"
+  "test_prescriptive.pdb"
+  "test_prescriptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prescriptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

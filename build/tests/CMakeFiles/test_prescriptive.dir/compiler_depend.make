@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_prescriptive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property2.dir/test_property2.cpp.o"
+  "CMakeFiles/test_property2.dir/test_property2.cpp.o.d"
+  "test_property2"
+  "test_property2.pdb"
+  "test_property2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_math_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_math_models[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_telemetry[1]_include.cmake")
+include("/root/repo/build/tests/test_descriptive[1]_include.cmake")
+include("/root/repo/build/tests/test_diagnostic[1]_include.cmake")
+include("/root/repo/build/tests/test_predictive[1]_include.cmake")
+include("/root/repo/build/tests/test_prescriptive[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_property2[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
