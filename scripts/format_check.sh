@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: verifies tracked C++ sources against
+# .clang-format without modifying anything. Exits 0 and prints a notice when
+# clang-format is unavailable (e.g. the minimal CI/tier-1 container) so the
+# gate degrades gracefully instead of failing the build for a missing tool.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format_check: clang-format not found on PATH; skipping (install clang-format to enable)"
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.hpp' 'src/**/*.cpp' \
+  'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "format_check: no tracked sources found" >&2
+  exit 1
+fi
+
+echo "format_check: checking ${#files[@]} files with $(clang-format --version)"
+clang-format --dry-run -Werror --style=file "${files[@]}"
+echo "format_check: OK"

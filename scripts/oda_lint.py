@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Repo-specific lint pass for ODA-Lib — invariants clang-tidy cannot express.
+
+Rules (suppress a finding with `// ODA-LINT-ALLOW(<rule>): <reason>` on the
+offending line or the line directly above it; an empty reason is itself a
+lint error):
+
+  pragma-once     every header under src/ contains `#pragma once`
+  self-contained  every header under src/ compiles on its own
+                  (requires --compiler; skipped otherwise)
+  naked-new       no naked `new` / `delete` in src/ — use std::make_unique,
+                  std::vector, or another owning container
+  atomic-order    every std::atomic access outside src/common/ names an
+                  explicit std::memory_order (the concurrency core in
+                  src/common/ is exempt: its orders are audited in-place)
+  cout-in-lib     no std::cout / std::cerr / printf in library code under
+                  src/ — route diagnostics through common/log
+                  (src/common/log.* is exempt: it is the logging sink)
+  no-cpp-include  no `#include` of a `.cpp` file anywhere in src/, tests/,
+                  bench/, or examples/
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+ALLOW_RE = re.compile(r"//\s*ODA-LINT-ALLOW\((?P<rules>[a-z0-9-,\s]+)\)\s*:?\s*(?P<reason>.*)")
+
+ATOMIC_CALL_RE = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|"
+    r"compare_exchange_weak|compare_exchange_strong)\s*\(")
+NAKED_NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(:]|(?<![\w.])delete\s*(\[\s*\])?\s+?[A-Za-z_(*]")
+COUT_RE = re.compile(r"std::cout|std::cerr|(?<![\w:.])printf\s*\(|(?<![\w.])puts\s*\(")
+CPP_INCLUDE_RE = re.compile(r"#\s*include\s*[\"<][^\">]*\.cpp[\">]")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure
+    so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                m = re.match(r'R"([^()\s\\]{0,16})\(', text[i:])
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw"
+                    out.append(" " * len(m.group(0)))
+                    i += len(m.group(0))
+                    continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == "raw":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def allowances(raw_lines: list[str]) -> dict[int, tuple[set[str], str]]:
+    """Map 1-based line number -> (allowed rules, reason). An ALLOW on its own
+    line also covers the next line."""
+    allow: dict[int, tuple[set[str], str]] = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group("rules").split(",") if r.strip()}
+        reason = m.group("reason").strip()
+        allow[idx] = (rules, reason)
+        if line.strip().startswith("//"):  # standalone comment covers next line
+            allow[idx + 1] = (rules, reason)
+    return allow
+
+
+def is_allowed(allow, lineno: int, rule: str, findings: list, path: str) -> bool:
+    entry = allow.get(lineno)
+    if not entry or rule not in entry[0]:
+        return False
+    if not entry[1]:
+        findings.append(Finding(path, lineno, rule,
+                                "ODA-LINT-ALLOW requires a written justification"))
+    return True
+
+
+def lint_file(root: str, rel: str, compiler: str | None,
+              include_dir: str) -> list[Finding]:
+    path = os.path.join(root, rel)
+    findings: list[Finding] = []
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    raw_lines = raw.splitlines()
+    allow = allowances(raw_lines)
+    stripped_lines = strip_comments_and_strings(raw).splitlines()
+
+    in_src = rel.startswith("src/")
+    in_common = rel.startswith("src/common/")
+    is_header = rel.endswith((".hpp", ".h"))
+    is_log_impl = rel in ("src/common/log.hpp", "src/common/log.cpp")
+
+    if in_src and is_header and "#pragma once" not in raw:
+        findings.append(Finding(rel, 1, "pragma-once", "header lacks #pragma once"))
+
+    for lineno, line in enumerate(stripped_lines, start=1):
+        if CPP_INCLUDE_RE.search(line):
+            if not is_allowed(allow, lineno, "no-cpp-include", findings, rel):
+                findings.append(Finding(rel, lineno, "no-cpp-include",
+                                        "translation units must not include .cpp files"))
+        if not in_src:
+            continue
+        if NAKED_NEW_RE.search(line):
+            if not is_allowed(allow, lineno, "naked-new", findings, rel):
+                findings.append(Finding(rel, lineno, "naked-new",
+                                        "naked new/delete; use an owning container "
+                                        "or std::make_unique"))
+        if not is_log_impl and COUT_RE.search(line):
+            if not is_allowed(allow, lineno, "cout-in-lib", findings, rel):
+                findings.append(Finding(rel, lineno, "cout-in-lib",
+                                        "library code must log via common/log, "
+                                        "not write to stdio directly"))
+        if not in_common:
+            for m in ATOMIC_CALL_RE.finditer(line):
+                # Only flag accesses that are plausibly atomics: the repo
+                # convention is that these member names are atomic-only.
+                args = line[m.end():]
+                if "memory_order" in args:
+                    continue
+                if is_allowed(allow, lineno, "atomic-order", findings, rel):
+                    continue
+                findings.append(Finding(rel, lineno, "atomic-order",
+                                        f".{m.group(1)}() without an explicit "
+                                        "std::memory_order argument"))
+
+    if in_src and is_header and compiler:
+        findings.extend(check_self_contained(root, rel, compiler, include_dir))
+    return findings
+
+
+def check_self_contained(root: str, rel: str, compiler: str,
+                         include_dir: str) -> list[Finding]:
+    """A header is self-contained iff a TU consisting of just that #include
+    compiles."""
+    with tempfile.NamedTemporaryFile("w", suffix=".cpp", delete=False) as tu:
+        header = os.path.relpath(os.path.join(root, rel),
+                                 os.path.join(root, include_dir))
+        tu.write(f'#include "{header}"\nint oda_lint_anchor_;\n')
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [compiler, "-std=c++20", "-fsyntax-only",
+             "-I", os.path.join(root, include_dir), tu_path],
+            capture_output=True, text=True, timeout=120)
+        if proc.returncode != 0:
+            detail = proc.stderr.strip().splitlines()
+            snippet = detail[0] if detail else "compiler error"
+            return [Finding(rel, 1, "self-contained",
+                            f"header does not compile standalone: {snippet}")]
+        return []
+    finally:
+        os.unlink(tu_path)
+
+
+def gather_files(root: str) -> list[str]:
+    rels = []
+    for top in ("src", "tests", "bench", "examples"):
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith((".hpp", ".h", ".cpp", ".cc")):
+                    rels.append(os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(rels)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), help="repository root")
+    ap.add_argument("--compiler", default=None,
+                    help="C++ compiler for the self-contained header check "
+                         "(omitted => that rule is skipped)")
+    ap.add_argument("--include-dir", default="src",
+                    help="include root passed to the compiler")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    files = gather_files(root)
+    if not files:
+        print("oda_lint: no sources found under", root, file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [pool.submit(lint_file, root, rel, args.compiler,
+                               args.include_dir) for rel in files]
+        for fut in futures:
+            findings.extend(fut.result())
+
+    for f in sorted(findings, key=lambda f: (f.path, f.line)):
+        print(f)
+    checked_rules = 5 + (1 if args.compiler else 0)
+    print(f"oda_lint: {len(files)} files, {checked_rules} rules, "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,44 @@
 #!/usr/bin/env bash
 # One-shot reproduction: configure, build, run the full test suite, and
 # regenerate every paper artifact and experiment into ./artifacts/.
+#
+# Usage: scripts/run_all.sh [preset]
+#   With a preset (release | asan-ubsan | tsan | lint) it builds and tests
+#   via `cmake --preset`; without one it configures ./build with the default
+#   generator (Ninja is used when available but is not required).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+PRESET="${1:-}"
 
-ctest --test-dir build --output-on-failure
+if [[ -n "$PRESET" ]]; then
+  BUILD_DIR="build-${PRESET}"
+  cmake --preset "$PRESET"
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure
+else
+  BUILD_DIR="build"
+  GENERATOR=()
+  if command -v ninja >/dev/null 2>&1; then
+    GENERATOR=(-G Ninja)
+  fi
+  cmake -B "$BUILD_DIR" "${GENERATOR[@]}"
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure
+fi
 
-mkdir -p artifacts
-for b in build/bench/bench_*; do
-  name="$(basename "$b")"
-  echo "== ${name} =="
-  "$b" | tee "artifacts/${name}.txt"
-done
-
-echo
-echo "artifacts written to ./artifacts/"
+# Sanitizer/lint presets skip the bench harness (ODA_BUILD_BENCH=OFF); only
+# regenerate artifacts when the benchmarks were actually built.
+if compgen -G "$BUILD_DIR/bench/bench_*" >/dev/null; then
+  mkdir -p artifacts
+  for b in "$BUILD_DIR"/bench/bench_*; do
+    [[ -x "$b" ]] || continue
+    name="$(basename "$b")"
+    echo "== ${name} =="
+    "$b" | tee "artifacts/${name}.txt"
+  done
+  echo
+  echo "artifacts written to ./artifacts/"
+else
+  echo "bench harness not built for preset '${PRESET:-default}'; skipping artifacts"
+fi

@@ -23,8 +23,12 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
-void Log::set_level(LogLevel level) { g_level.store(level); }
-LogLevel Log::level() { return g_level.load(); }
+// relaxed: the level is an independent filter flag — no other data is
+// published through it, so threads may observe a level change late at worst.
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 
 void Log::set_sink(Sink sink) {
   std::lock_guard lock(g_sink_mu);
@@ -32,7 +36,7 @@ void Log::set_sink(Sink sink) {
 }
 
 void Log::write(LogLevel level, const std::string& message) {
-  if (level < g_level.load()) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   std::lock_guard lock(g_sink_mu);
   if (g_sink) {
     g_sink(level, message);

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstddef>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -28,21 +29,24 @@ class SpscQueue {
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
 
-  /// Producer side. Returns false when the queue is full.
-  bool try_push(T value) {
-    const std::size_t head = head_.load(std::memory_order_relaxed);
-    const std::size_t next = (head + 1) & mask_;
-    if (next == tail_.load(std::memory_order_acquire)) return false;
-    buf_[head] = std::move(value);
-    head_.store(next, std::memory_order_release);
-    return true;
-  }
+  /// Producer side. Returns false when the queue is full; the argument is
+  /// left untouched in that case, so a move-only payload survives a failed
+  /// push and the caller can retry.
+  bool try_push(const T& value) { return push_impl(value); }
+  bool try_push(T&& value) { return push_impl(std::move(value)); }
 
   /// Consumer side. Returns nullopt when the queue is empty.
   std::optional<T> try_pop() {
+    // relaxed: tail_ is written only by the consumer (this thread), so this
+    // load can never observe a stale value; no ordering is needed to read
+    // your own index.
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    // acquire: pairs with the producer's release store to head_ — it makes
+    // the producer's write to buf_[tail] visible before we move from it.
     if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
     T value = std::move(buf_[tail]);
+    // release: pairs with the producer's acquire load of tail_ — the slot
+    // must be vacated (moved from) before the producer may reuse it.
     tail_.store((tail + 1) & mask_, std::memory_order_release);
     return value;
   }
@@ -58,6 +62,23 @@ class SpscQueue {
   bool empty_approx() const { return size_approx() == 0; }
 
  private:
+  template <typename U>
+  bool push_impl(U&& value) {
+    // relaxed: head_ is written only by the producer (this thread); reading
+    // your own index needs no ordering.
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    // acquire: pairs with the consumer's release store to tail_ — the
+    // consumer must have finished moving out of buf_[head] (one lap ago)
+    // before we overwrite the slot.
+    if (next == tail_.load(std::memory_order_acquire)) return false;
+    buf_[head] = std::forward<U>(value);
+    // release: pairs with the consumer's acquire load of head_ — publishes
+    // the buf_[head] write before the slot becomes poppable.
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
   std::vector<T> buf_;
   std::size_t mask_ = 0;
   alignas(64) std::atomic<std::size_t> head_{0};

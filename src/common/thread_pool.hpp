@@ -31,6 +31,11 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
+    // relaxed: the increment only needs to be ordered before the matching
+    // decrement in task_done(), and it is — the queue's mutex (push below /
+    // pop in worker_loop) releases/acquires between them. wait_idle() callers
+    // must themselves order their submits before waiting; no memory order on
+    // this counter could wait for a task that has not been submitted yet.
     pending_.fetch_add(1, std::memory_order_relaxed);
     const bool accepted = tasks_.push([task] { (*task)(); });
     if (!accepted) {

@@ -22,6 +22,8 @@ void MessageBus::unsubscribe(SubscriptionId id) {
 }
 
 void MessageBus::publish(const Reading& reading) {
+  // relaxed (here and for delivered_ below): pure statistics counters — they
+  // guard no data and order nothing; readers only need eventual counts.
   published_.fetch_add(1, std::memory_order_relaxed);
   // Snapshot matching callbacks under the lock, call outside it so a
   // subscriber may publish (or subscribe) re-entrantly without deadlock.

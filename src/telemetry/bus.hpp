@@ -29,8 +29,14 @@ class MessageBus {
   void publish(const std::string& path, TimePoint time, double value);
 
   std::size_t subscriber_count() const;
-  std::uint64_t published_count() const { return published_.load(); }
-  std::uint64_t delivered_count() const { return delivered_.load(); }
+  // relaxed: published_/delivered_ are monotonic statistics counters; they
+  // synchronize nothing and no other data is published through them.
+  std::uint64_t published_count() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delivered_count() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Subscription {
