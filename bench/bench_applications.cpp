@@ -18,6 +18,8 @@
 #include "sim/cluster.hpp"
 #include "telemetry/collector.hpp"
 
+#include "bench_util.hpp"
+
 namespace {
 
 using namespace oda;
@@ -190,7 +192,8 @@ void prescriptive_section() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oda::bench::BenchReport oda_report("bench_applications", argc, argv);
   descriptive_section();
   diagnostic_section();
   predictive_section();

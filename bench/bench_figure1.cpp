@@ -6,7 +6,10 @@
 #include "core/figures.hpp"
 #include "sim/cluster.hpp"
 
-int main() {
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  oda::bench::BenchReport oda_report("bench_figure1", argc, argv);
   using namespace oda;
   std::printf("%s\n", core::render_figure1().c_str());
 
@@ -23,6 +26,12 @@ int main() {
       ++hardware;  // rack*/node*, network, cluster aggregates
     }
   }
+  oda_report.add("sensors_building_infrastructure",
+                 static_cast<double>(infra), "sensors");
+  oda_report.add("sensors_system_hardware", static_cast<double>(hardware),
+                 "sensors");
+  oda_report.add("sensors_system_software", static_cast<double>(software),
+                 "sensors");
   std::printf("live sensors per pillar in the reference simulation:\n");
   std::printf("  building-infrastructure : %zu\n", infra);
   std::printf("  system-hardware         : %zu\n", hardware);

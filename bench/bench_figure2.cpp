@@ -15,7 +15,10 @@
 #include "sim/cluster.hpp"
 #include "telemetry/collector.hpp"
 
-int main() {
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  oda::bench::BenchReport oda_report("bench_figure2", argc, argv);
   using namespace oda;
   using Clock = std::chrono::steady_clock;
 
@@ -83,6 +86,9 @@ int main() {
     }
   });
 
+  for (const auto& [type, ms] : cost_ms) {
+    oda_report.add(std::string("cost_") + core::to_string(type), ms, "ms");
+  }
   std::printf("%s\n", core::render_figure2(cost_ms).c_str());
   std::printf("note: prescriptive cost includes driving the plant for two\n"
               "simulated days of closed-loop control; the staircase ordering\n"

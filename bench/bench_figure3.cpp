@@ -5,12 +5,18 @@
 
 #include "core/oda_system.hpp"
 
-int main() {
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  oda::bench::BenchReport oda_report("bench_figure3", argc, argv);
   using namespace oda::core;
   const auto systems = published_example_systems();
   std::printf("%s\n", render_figure3(systems).c_str());
 
   const auto c = census(systems);
+  oda_report.add("example_systems", static_cast<double>(c.total), "count");
+  oda_report.add("multi_type_and_pillar", static_cast<double>(c.multi_both),
+                 "count");
   std::printf("census of the example systems (Sec. V discussion):\n");
   std::printf("  total                 : %zu\n", c.total);
   std::printf("  single-cell           : %zu\n", c.single_cell);

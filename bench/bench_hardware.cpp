@@ -17,6 +17,8 @@
 #include "sim/cluster.hpp"
 #include "telemetry/collector.hpp"
 
+#include "bench_util.hpp"
+
 namespace {
 
 using namespace oda;
@@ -242,7 +244,8 @@ void predictive_section() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oda::bench::BenchReport oda_report("bench_hardware", argc, argv);
   descriptive_section();
   diagnostic_component_faults();
   diagnostic_streaming_ablation();

@@ -20,6 +20,8 @@
 #include "sim/cluster.hpp"
 #include "telemetry/collector.hpp"
 
+#include "bench_util.hpp"
+
 namespace {
 
 using namespace oda;
@@ -297,7 +299,8 @@ void prescriptive_section() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oda::bench::BenchReport oda_report("bench_infrastructure", argc, argv);
   descriptive_section();
   diagnostic_section();
   predictive_section();

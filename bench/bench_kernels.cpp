@@ -4,6 +4,8 @@
 // and DTW. These are the design-choice ablation data for DESIGN.md §6.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include <cmath>
 
 #include "common/rng.hpp"
@@ -182,4 +184,4 @@ BENCHMARK(BM_P2QuantileAdd);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ODA_BENCH_MAIN()

@@ -16,11 +16,14 @@
 #include "sim/cluster.hpp"
 #include "telemetry/collector.hpp"
 
+#include "bench_util.hpp"
+
 namespace {
 using namespace oda;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  oda::bench::BenchReport oda_report("bench_llnl_power", argc, argv);
   std::printf("=== E7: spectral power-spike forecasting + utility "
               "notification rule (LLNL, Sec. V-C) ===\n");
 

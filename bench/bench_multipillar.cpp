@@ -14,6 +14,8 @@
 #include "sim/cluster.hpp"
 #include "telemetry/collector.hpp"
 
+#include "bench_util.hpp"
+
 namespace {
 
 using namespace oda;
@@ -78,7 +80,8 @@ Outcome run_case(bool thermal_aware) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oda::bench::BenchReport oda_report("bench_multipillar", argc, argv);
   std::printf("=== E6: siloed (pack) vs multi-pillar (thermal-aware) placement "
               "(Sec. V-B) ===\n");
   std::printf("setup: 32 nodes / 4 racks, ~50%% load, identical workload and "
@@ -107,6 +110,9 @@ int main() {
       (pack.facility_kwh - aware.facility_kwh) / pack.facility_kwh * 100.0;
   std::printf("\nfacility energy saving from crossing the pillar boundary: "
               "%.2f%%\n", saving);
+  oda_report.add("pack_facility_kwh", pack.facility_kwh, "kWh");
+  oda_report.add("aware_facility_kwh", aware.facility_kwh, "kWh");
+  oda_report.add("facility_saving", saving, "percent");
   std::printf("expected shape: thermal-aware placement lowers peak rack inlet "
               "and total energy at equal throughput — the paper's argument "
               "for multi-pillar ODA despite its integration cost.\n");

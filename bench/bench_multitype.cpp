@@ -14,6 +14,8 @@
 #include "sim/cluster.hpp"
 #include "telemetry/collector.hpp"
 
+#include "bench_util.hpp"
+
 namespace {
 
 using namespace oda;
@@ -99,7 +101,8 @@ Outcome run_case(int mode /*0=none,1=reactive,2=proactive*/) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oda::bench::BenchReport oda_report("bench_multitype", argc, argv);
   std::printf("=== E5: reactive vs proactive thermal-cap DVFS (Sec. V-A) ===\n");
   std::printf("setup: 16 nodes at full load on a 42 C loop, 84 C thermal "
               "limit, 2 simulated days\n\n");

@@ -4,6 +4,8 @@
 // cost at several machine sizes.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "common/rng.hpp"
 #include "sim/cluster.hpp"
 #include "telemetry/bus.hpp"
@@ -118,4 +120,4 @@ BENCHMARK(BM_SimStep)->Arg(1)->Arg(4)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ODA_BENCH_MAIN()

@@ -18,6 +18,8 @@
 #include "sim/cluster.hpp"
 #include "telemetry/collector.hpp"
 
+#include "bench_util.hpp"
+
 namespace {
 
 using namespace oda;
@@ -133,7 +135,8 @@ void predictive_workload_section() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  oda::bench::BenchReport oda_report("bench_software", argc, argv);
   descriptive_section();
   diagnostic_section();
   predictive_whatif_section();

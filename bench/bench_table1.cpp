@@ -7,7 +7,10 @@
 #include "core/bindings.hpp"
 #include "core/survey_catalog.hpp"
 
-int main() {
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  oda::bench::BenchReport oda_report("bench_table1", argc, argv);
   using namespace oda::core;
 
   const auto catalog = SurveyCatalog::table1();
@@ -28,6 +31,14 @@ int main() {
   const auto impl_cov = verify_full_coverage(impl);
   std::printf("implementation grid: %zu capabilities, %zu/16 cells occupied\n\n",
               impl_cov.total_capabilities, impl_cov.occupied_cells);
+  oda_report.add("survey_use_cases",
+                 static_cast<double>(survey_cov.total_capabilities), "count");
+  oda_report.add("survey_cells_occupied",
+                 static_cast<double>(survey_cov.occupied_cells), "cells");
+  oda_report.add("impl_capabilities",
+                 static_cast<double>(impl_cov.total_capabilities), "count");
+  oda_report.add("impl_cells_occupied",
+                 static_cast<double>(impl_cov.occupied_cells), "cells");
 
   // The planning use of the framework (Sec. I): a hypothetical site that has
   // deployed only dashboards gets a staged roadmap toward the missing types.

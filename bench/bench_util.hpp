@@ -1,0 +1,122 @@
+// Shared bench-output helper: every bench accepts `--json <path>` and emits
+// a machine-readable result file next to its human-readable stdout artifact.
+//
+//   * Plain artifact benches construct a BenchReport, add() named metrics,
+//     and the destructor writes {"bench", "wall_seconds", "metrics": [...]}
+//     when --json was passed (and nothing otherwise).
+//   * google-benchmark benches use ODA_BENCH_MAIN(), which translates
+//     `--json <path>` into --benchmark_out=<path>/--benchmark_out_format=json
+//     so the flag is uniform across the suite.
+//
+// scripts/collect_bench.py aggregates either schema into BENCH_results.json.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace oda::bench {
+
+/// Returns the value following `--json` in argv, or "" when absent.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
+
+class BenchReport {
+ public:
+  /// Parses --json from the command line; metrics are dropped if absent.
+  BenchReport(std::string bench_name, int argc, char** argv)
+      : name_(std::move(bench_name)),
+        path_(json_path_from_args(argc, argv)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() { write(); }
+
+  void add(const std::string& metric, double value,
+           const std::string& unit = "") {
+    metrics_.push_back({metric, value, unit});
+  }
+
+  /// Writes the JSON file now (idempotent; also called by the destructor).
+  void write() {
+    if (path_.empty() || written_) return;
+    written_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_util: cannot write %s\n", path_.c_str());
+      return;
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"wall_seconds\": %.6f,\n",
+                 name_.c_str(), wall);
+    std::fprintf(f, "  \"metrics\": [");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"value\": %.17g, \"unit\": \"%s\"}",
+                   i == 0 ? "" : ",", m.name.c_str(), m.value, m.unit.c_str());
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  std::string name_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<Metric> metrics_;
+  bool written_ = false;
+};
+
+/// Rewrites `--json <path>` into google-benchmark's native output flags.
+/// Returns the adjusted argument vector (pointers into `storage`).
+inline std::vector<char*> translate_json_flag(int argc, char** argv,
+                                              std::vector<std::string>& storage) {
+  storage.clear();
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      storage.push_back("--benchmark_out=" + std::string(argv[i + 1]));
+      storage.push_back("--benchmark_out_format=json");
+      ++i;
+    } else {
+      storage.push_back(arg);
+    }
+  }
+  std::vector<char*> out;
+  out.reserve(storage.size());
+  for (auto& s : storage) out.push_back(s.data());
+  return out;
+}
+
+}  // namespace oda::bench
+
+/// main() for google-benchmark benches with --json support.
+#define ODA_BENCH_MAIN()                                              \
+  int main(int argc, char** argv) {                                   \
+    std::vector<std::string> oda_bench_storage;                       \
+    std::vector<char*> oda_bench_args =                               \
+        ::oda::bench::translate_json_flag(argc, argv, oda_bench_storage); \
+    int oda_bench_argc = static_cast<int>(oda_bench_args.size());     \
+    ::benchmark::Initialize(&oda_bench_argc, oda_bench_args.data());  \
+    if (::benchmark::ReportUnrecognizedArguments(oda_bench_argc,      \
+                                                 oda_bench_args.data())) \
+      return 1;                                                       \
+    ::benchmark::RunSpecifiedBenchmarks();                            \
+    ::benchmark::Shutdown();                                          \
+    return 0;                                                         \
+  }

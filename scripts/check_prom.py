@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition (format 0.0.4) file.
+
+Checks, without any third-party dependency:
+  * every non-comment line parses as  name{labels} value  (labels optional);
+  * metric and label names are legal;
+  * label values use only the \\\\, \\", \\n escapes;
+  * # TYPE appears at most once per family, before its samples;
+  * no duplicate series (same name + identical label set);
+  * histogram families expose _bucket/_sum/_count, bucket counts are
+    cumulative (non-decreasing as le increases), and the +Inf bucket equals
+    the _count sample;
+  * sample values parse as floats (NaN/+Inf/-Inf allowed).
+
+Usage: check_prom.py <file.prom> [--require-prefix oda_]
+Exit status 0 when the file is valid, 1 otherwise (problems on stderr).
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name { labels } value  (timestamp deliberately unsupported: we never emit one)
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_labels(block, problems, lineno):
+    """Returns a sorted tuple of (name, value) pairs from '{a="b",c="d"}'."""
+    inner = block[1:-1]
+    if not inner:
+        return ()
+    labels = []
+    consumed = 0
+    for m in LABEL.finditer(inner):
+        labels.append((m.group(1), m.group(2)))
+        consumed += len(m.group(0))
+    # Account for separators: n-1 commas (trailing comma is legal too).
+    separators = inner.count(",")
+    if consumed + separators < len(inner.replace(" ", "")):
+        problems.append(f"line {lineno}: malformed label block {block!r}")
+    for name, value in labels:
+        if not LABEL_NAME.match(name):
+            problems.append(f"line {lineno}: bad label name {name!r}")
+        bad_escapes = re.findall(r"\\[^\\n\"]", value)
+        if bad_escapes:
+            problems.append(
+                f"line {lineno}: invalid escape(s) {bad_escapes} in label "
+                f"value {value!r}"
+            )
+    return tuple(sorted(labels))
+
+
+def base_family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(path, require_prefix=None):
+    problems = []
+    typed = {}        # family -> type
+    seen_series = {}  # (name, labels) -> lineno
+    samples = []      # (lineno, name, labels, value)
+    families_with_samples = set()
+
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP"):
+                if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                    problems.append(f"line {lineno}: malformed {parts[1]} comment")
+                    continue
+                if parts[1] == "TYPE":
+                    fam = parts[2]
+                    if fam in typed:
+                        problems.append(
+                            f"line {lineno}: duplicate TYPE for family {fam}"
+                        )
+                    if fam in families_with_samples:
+                        problems.append(
+                            f"line {lineno}: TYPE for {fam} after its samples"
+                        )
+                    typed[fam] = parts[3].strip() if len(parts) > 3 else ""
+            continue
+
+        m = SAMPLE.match(line)
+        if not m:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name, label_block, value_text = m.groups()
+        if require_prefix and not name.startswith(require_prefix):
+            problems.append(
+                f"line {lineno}: metric {name} lacks required prefix "
+                f"{require_prefix!r}"
+            )
+        labels = parse_labels(label_block, problems, lineno) if label_block else ()
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            problems.append(f"line {lineno}: bad sample value {value_text!r}")
+            continue
+        key = (name, labels)
+        if key in seen_series:
+            problems.append(
+                f"line {lineno}: duplicate series {name}{dict(labels)} "
+                f"(first at line {seen_series[key]})"
+            )
+        else:
+            seen_series[key] = lineno
+        families_with_samples.add(base_family(name))
+        samples.append((lineno, name, labels, value))
+
+    # Histogram structure checks.
+    for fam, ftype in typed.items():
+        if ftype != "histogram":
+            continue
+        buckets = {}  # labels-without-le -> list of (le, value)
+        sums = {}
+        counts = {}
+        for lineno, name, labels, value in samples:
+            if name == fam + "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    problems.append(f"line {lineno}: bucket without le label")
+                    continue
+                rest = tuple(kv for kv in labels if kv[0] != "le")
+                buckets.setdefault(rest, []).append((parse_value(le), value))
+            elif name == fam + "_sum":
+                sums[labels] = value
+            elif name == fam + "_count":
+                counts[labels] = value
+        for rest, series in buckets.items():
+            series.sort(key=lambda p: p[0])
+            values = [v for _, v in series]
+            if values != sorted(values):
+                problems.append(
+                    f"histogram {fam}{dict(rest)}: bucket counts not cumulative"
+                )
+            if not series or not math.isinf(series[-1][0]):
+                problems.append(f"histogram {fam}{dict(rest)}: no +Inf bucket")
+            elif rest in counts and series[-1][1] != counts[rest]:
+                problems.append(
+                    f"histogram {fam}{dict(rest)}: +Inf bucket "
+                    f"{series[-1][1]} != _count {counts[rest]}"
+                )
+            if rest not in sums:
+                problems.append(f"histogram {fam}{dict(rest)}: missing _sum")
+            if rest not in counts:
+                problems.append(f"histogram {fam}{dict(rest)}: missing _count")
+
+    return problems, len(samples), len(typed)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file")
+    parser.add_argument(
+        "--require-prefix",
+        default=None,
+        help="require every metric name to start with this prefix",
+    )
+    args = parser.parse_args()
+
+    problems, n_samples, n_families = check(args.file, args.require_prefix)
+    if problems:
+        for p in problems:
+            print(f"check_prom: {p}", file=sys.stderr)
+        print(
+            f"check_prom: FAIL — {len(problems)} problem(s) in {args.file}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"check_prom: OK — {n_samples} samples across {n_families} typed "
+        f"families in {args.file}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

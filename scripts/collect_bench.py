@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Aggregates per-bench --json outputs into one BENCH_results.json.
+
+Accepts both schemas emitted by the suite:
+  * bench_util.hpp BenchReport files: {"bench", "wall_seconds", "metrics"};
+  * google-benchmark --benchmark_out files: {"context", "benchmarks": [...]}
+    (produced by the ODA_BENCH_MAIN() --json translation).
+
+Usage:
+  collect_bench.py --out BENCH_results.json results/*.json
+  build/bench/bench_table1 --json t1.json && collect_bench.py t1.json
+
+The output maps bench name -> normalized record:
+  {"benches": {<name>: {"wall_seconds": ..., "metrics": [...]}}, "count": N}
+google-benchmark entries are normalized to metrics named after each
+benchmark case with value = real_time and unit = time_unit.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def normalize(path, doc):
+    if "bench" in doc:  # BenchReport schema
+        name = doc["bench"]
+        return name, {
+            "schema": "bench_report",
+            "wall_seconds": doc.get("wall_seconds"),
+            "metrics": doc.get("metrics", []),
+        }
+    if "benchmarks" in doc:  # google-benchmark schema
+        name = os.path.splitext(os.path.basename(path))[0]
+        exe = doc.get("context", {}).get("executable", "")
+        if exe:
+            name = os.path.basename(exe)
+        metrics = []
+        for case in doc["benchmarks"]:
+            if case.get("run_type") == "aggregate":
+                continue
+            metrics.append(
+                {
+                    "name": case.get("name", "?"),
+                    "value": case.get("real_time"),
+                    "unit": case.get("time_unit", "ns"),
+                    "iterations": case.get("iterations"),
+                }
+            )
+        return name, {"schema": "google_benchmark", "metrics": metrics}
+    raise ValueError(f"{path}: neither a BenchReport nor a google-benchmark file")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+", help="per-bench --json files")
+    parser.add_argument("--out", default="BENCH_results.json")
+    args = parser.parse_args()
+
+    benches = {}
+    failures = 0
+    for path in args.inputs:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            name, record = normalize(path, doc)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"collect_bench: skipping {path}: {err}", file=sys.stderr)
+            failures += 1
+            continue
+        if name in benches:
+            print(f"collect_bench: duplicate bench {name} from {path}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        benches[name] = record
+
+    result = {"benches": benches, "count": len(benches)}
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"collect_bench: wrote {args.out} with {len(benches)} bench(es)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

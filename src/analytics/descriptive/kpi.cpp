@@ -9,6 +9,8 @@
 #include "common/stats.hpp"
 #include "math/entropy.hpp"
 
+#include "obs/cell.hpp"
+
 namespace oda::analytics {
 
 namespace {
@@ -31,6 +33,7 @@ double integrate_kwh(const telemetry::TimeSeriesStore& store,
 
 PueReport compute_pue(const telemetry::TimeSeriesStore& store, TimePoint from,
                       TimePoint to) {
+  ::oda::obs::CellScope oda_cell_scope("building-infrastructure", "descriptive", "kpi.pue");
   PueReport report;
   report.facility_energy_kwh = integrate_kwh(store, "facility/total_power", from, to);
   report.it_energy_kwh = integrate_kwh(store, "cluster/it_power", from, to);
@@ -45,6 +48,7 @@ PueReport compute_pue(const telemetry::TimeSeriesStore& store, TimePoint from,
 ItueReport compute_itue(const telemetry::TimeSeriesStore& store, TimePoint from,
                         TimePoint to, double fan_max_power_w,
                         double psu_overhead_fraction) {
+  ::oda::obs::CellScope oda_cell_scope("system-hardware", "descriptive", "kpi.itue");
   ItueReport report;
   report.it_energy_kwh = integrate_kwh(store, "cluster/it_power", from, to);
 
@@ -82,6 +86,7 @@ double compute_ere(const PueReport& pue, double reuse_fraction) {
 
 SlowdownReport compute_slowdown(std::span<const sim::JobRecord> records,
                                 Duration tau) {
+  ::oda::obs::CellScope oda_cell_scope("system-software", "descriptive", "kpi.slowdown");
   SlowdownReport report;
   if (records.empty()) return report;
   std::vector<double> waits;
@@ -152,6 +157,7 @@ SieReport compute_sie(const telemetry::TimeSeriesStore& store,
 
 RooflinePoint roofline(double peak_gflops, double peak_bw_gbs,
                        double achieved_gflops, double bytes_per_flop) {
+  ::oda::obs::CellScope oda_cell_scope("applications", "descriptive", "kpi.roofline");
   ODA_REQUIRE(peak_gflops > 0.0 && peak_bw_gbs > 0.0, "roofline ceilings must be positive");
   ODA_REQUIRE(bytes_per_flop > 0.0, "bytes_per_flop must be positive");
   RooflinePoint p;

@@ -9,6 +9,8 @@
 #include "common/string_util.hpp"
 #include "math/regression.hpp"
 
+#include "obs/cell.hpp"
+
 namespace oda::analytics {
 
 // ------------------------------------------------------------ ZScoreDetector
@@ -302,6 +304,7 @@ void NodeAnomalyMonitor::train(const telemetry::TimeSeriesStore& store,
 
 std::vector<AnomalyVerdict> NodeAnomalyMonitor::scan(
     const telemetry::TimeSeriesStore& store, TimePoint now) const {
+  ::oda::obs::CellScope oda_cell_scope("system-hardware", "diagnostic", "diag.node");
   ODA_REQUIRE(trained(), "scan before train");
   std::vector<AnomalyVerdict> out;
   out.reserve(node_prefixes_.size());

@@ -6,11 +6,14 @@
 #include "common/error.hpp"
 #include "math/regression.hpp"
 
+#include "obs/cell.hpp"
+
 namespace oda::analytics {
 
 FailureProjection project_failure(std::span<const double> signal,
                                   double sample_period_s, double threshold,
                                   bool increasing_is_bad) {
+  ::oda::obs::CellScope oda_cell_scope("system-hardware", "predictive", "pred.failure");
   ODA_REQUIRE(sample_period_s > 0.0, "sample period must be positive");
   FailureProjection p;
   if (signal.size() < 8) return p;

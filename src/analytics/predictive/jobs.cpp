@@ -7,6 +7,8 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
+#include "obs/cell.hpp"
+
 namespace oda::analytics {
 
 std::vector<double> submission_features(const sim::JobSpec& spec) {
@@ -45,6 +47,7 @@ void JobRuntimePredictor::observe(const sim::JobRecord& record) {
 
 JobRuntimePredictor::Estimate JobRuntimePredictor::predict(
     const sim::JobSpec& spec) const {
+  ::oda::obs::CellScope oda_cell_scope("applications", "predictive", "pred.runtime");
   Estimate est;
   const double cap = static_cast<double>(spec.walltime_requested);
   const auto it = user_runtimes_.find(spec.user);

@@ -7,6 +7,8 @@
 #include "math/regression.hpp"
 #include "math/timeseries.hpp"
 
+#include "obs/cell.hpp"
+
 namespace oda::analytics {
 
 SpectralForecaster::SpectralForecaster(std::size_t components)
@@ -44,6 +46,7 @@ std::vector<double> SpectralForecaster::forecast(std::size_t horizon) const {
 
 std::vector<PowerSwingEvent> detect_power_swings(std::span<const double> power,
                                                  const NotificationRule& rule) {
+  ::oda::obs::CellScope oda_cell_scope("building-infrastructure", "predictive", "pred.spectral");
   ODA_REQUIRE(rule.sample_period > 0, "sample period must be positive");
   const auto lag = static_cast<std::size_t>(rule.window / rule.sample_period);
   std::vector<PowerSwingEvent> out;

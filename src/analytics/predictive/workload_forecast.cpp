@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "math/smoothing.hpp"
 
+#include "obs/cell.hpp"
+
 namespace oda::analytics {
 
 WorkloadForecaster::WorkloadForecaster(Duration bucket) : bucket_(bucket) {
@@ -43,6 +45,7 @@ std::vector<double> WorkloadForecaster::daily_profile() const {
 }
 
 std::vector<double> WorkloadForecaster::forecast(std::size_t horizon) const {
+  ::oda::obs::CellScope oda_cell_scope("system-software", "predictive", "pred.workload");
   const auto per_day = static_cast<std::size_t>(kDay / bucket_);
   std::vector<double> out(horizon, 0.0);
   if (counts_.empty()) return out;

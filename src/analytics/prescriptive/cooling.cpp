@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 
+#include "obs/cell.hpp"
+
 namespace oda::analytics {
 
 CoolingSetpointOptimizer::CoolingSetpointOptimizer(Params params)
@@ -25,6 +27,7 @@ double CoolingSetpointOptimizer::measure_power(
 void CoolingSetpointOptimizer::act(sim::ClusterSimulation& cluster,
                                    const telemetry::TimeSeriesStore& store,
                                    std::vector<Actuation>& log) {
+  ::oda::obs::CellScope oda_cell_scope("building-infrastructure", "prescriptive", "presc.setpoint");
   const TimePoint now = cluster.now();
 
   // Safety: back off immediately if any CPU is near its limit.

@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 
+#include "obs/cell.hpp"
+
 namespace oda::analytics {
 
 ThermalAwarePlacement::ThermalAwarePlacement(
@@ -60,6 +62,7 @@ std::optional<std::vector<std::size_t>> place_rack_local(
 
 std::optional<std::vector<std::size_t>> ThermalAwarePlacement::place(
     const sim::JobSpec& spec, const std::vector<bool>& node_busy) {
+  ::oda::obs::CellScope oda_cell_scope("system-software", "prescriptive", "presc.placement");
   // Rank racks coolest-first (by power, our hotspot proxy).
   std::vector<std::size_t> rack_order(racks_);
   std::iota(rack_order.begin(), rack_order.end(), 0);

@@ -8,12 +8,15 @@
 #include "common/string_util.hpp"
 #include "common/table.hpp"
 
+#include "obs/cell.hpp"
+
 namespace oda::analytics {
 
 JobProfile profile_job(const telemetry::TimeSeriesStore& store,
                        const sim::JobRecord& record,
                        const std::vector<std::string>& node_prefixes,
                        Duration bucket) {
+  ::oda::obs::CellScope oda_cell_scope("applications", "prescriptive", "presc.recommend");
   JobProfile profile;
   std::vector<double> per_node_cpu;
   double cpu = 0.0, mem = 0.0, net = 0.0, io = 0.0;

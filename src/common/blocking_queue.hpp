@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -37,12 +38,21 @@ class BlockingQueue {
   bool try_push(T value) {
     {
       std::lock_guard lock(mu_);
-      if (closed_) return false;
-      if (capacity_ != 0 && items_.size() >= capacity_) return false;
+      if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) {
+        ++rejected_;
+        return false;
+      }
       items_.push_back(std::move(value));
     }
     not_empty_.notify_one();
     return true;
+  }
+
+  /// try_push calls that returned false (full or closed) — the drop signal
+  /// exported by obs::register_blocking_queue.
+  std::uint64_t rejected_count() const {
+    std::lock_guard lock(mu_);
+    return rejected_;
   }
 
   /// Blocks while empty. Returns nullopt once closed and drained.
@@ -94,6 +104,7 @@ class BlockingQueue {
   std::condition_variable not_full_;
   std::deque<T> items_;
   std::size_t capacity_;
+  std::uint64_t rejected_ = 0;  // guarded by mu_
   bool closed_ = false;
 };
 

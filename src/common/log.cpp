@@ -1,7 +1,9 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 
 namespace oda {
@@ -10,6 +12,23 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_sink_mu;
 Log::Sink g_sink;  // guarded by g_sink_mu
+
+/// Formats the current wall-clock time as "2026-08-07T14:03:11" into `out`
+/// (must hold >= 20 bytes). Seconds resolution keeps the default sink cheap
+/// and diffable; sub-second timing belongs to the tracer, not the log.
+void format_timestamp(char* out, std::size_t out_size) {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm_buf{};
+#if defined(_WIN32)
+  localtime_s(&tm_buf, &now);
+#else
+  localtime_r(&now, &tm_buf);
+#endif
+  if (std::strftime(out, out_size, "%Y-%m-%dT%H:%M:%S", &tm_buf) == 0) {
+    out[0] = '\0';
+  }
+}
 }  // namespace
 
 const char* log_level_name(LogLevel level) {
@@ -35,14 +54,74 @@ void Log::set_sink(Sink sink) {
   g_sink = std::move(sink);
 }
 
+std::size_t Log::thread_id() {
+  // relaxed: the counter only hands out unique ids; no ordering is implied
+  // between threads that happen to log around the same time.
+  static std::atomic<std::size_t> next{1};
+  thread_local const std::size_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 void Log::write(LogLevel level, const std::string& message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
   std::lock_guard lock(g_sink_mu);
   if (g_sink) {
     g_sink(level, message);
   } else {
-    std::fprintf(stderr, "[%s] %s\n", log_level_name(level), message.c_str());
+    char ts[32];
+    format_timestamp(ts, sizeof(ts));
+    std::fprintf(stderr, "[%s] [%s] [t%zu] %s\n", ts, log_level_name(level),
+                 thread_id(), message.c_str());
   }
+}
+
+CaptureSink::CaptureSink(std::size_t capacity) : entries_(capacity) {
+  Log::set_sink([this](LogLevel level, const std::string& message) {
+    std::lock_guard lock(mu_);
+    entries_.push(Entry{level, message});
+  });
+}
+
+CaptureSink::~CaptureSink() { Log::set_sink(nullptr); }
+
+std::vector<std::string> CaptureSink::lines() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out.push_back("[" + std::string(log_level_name(e.level)) + "] " +
+                  e.message);
+  }
+  return out;
+}
+
+bool CaptureSink::contains(const std::string& substring) const {
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].message.find(substring) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::size_t CaptureSink::count(LogLevel level) const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].level == level) ++n;
+  }
+  return n;
+}
+
+std::size_t CaptureSink::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+void CaptureSink::clear() {
+  std::lock_guard lock(mu_);
+  entries_.clear();
 }
 
 }  // namespace oda

@@ -1,10 +1,17 @@
 // Leveled logging with pluggable sink. Library code logs sparingly (warnings
 // on degraded behaviour); examples and benches raise the level for narration.
+// The default stderr sink prefixes every line with a wall-clock timestamp,
+// the level, and a small per-thread id:
+//   [2026-08-07T14:03:11] [WARN] [t1] collector group matched no sensors
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
 
 namespace oda {
 
@@ -22,6 +29,40 @@ class Log {
   /// Replaces the sink (default writes to stderr). Pass nullptr to restore.
   static void set_sink(Sink sink);
   static void write(LogLevel level, const std::string& message);
+
+  /// Small dense id for the calling thread (1, 2, ... in first-log order),
+  /// used by the default sink's [tN] field.
+  static std::size_t thread_id();
+};
+
+/// Test helper: captures log lines into a bounded ring of recent entries so
+/// tests assert on warnings instead of scraping stderr. Installs itself as
+/// the sink on construction and restores the default stderr sink on
+/// destruction (keep at most one alive at a time).
+class CaptureSink {
+ public:
+  explicit CaptureSink(std::size_t capacity = 256);
+  CaptureSink(const CaptureSink&) = delete;
+  CaptureSink& operator=(const CaptureSink&) = delete;
+  ~CaptureSink();
+
+  /// Captured messages oldest-first, formatted "[LEVEL] message".
+  std::vector<std::string> lines() const;
+  /// True if any captured message contains `substring`.
+  bool contains(const std::string& substring) const;
+  /// Captured entries at exactly `level`.
+  std::size_t count(LogLevel level) const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Entry {
+    LogLevel level = LogLevel::kDebug;
+    std::string message;
+  };
+
+  mutable std::mutex mu_;
+  RingBuffer<Entry> entries_;
 };
 
 namespace detail {

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -34,6 +35,14 @@ class SpscQueue {
   /// push and the caller can retry.
   bool try_push(const T& value) { return push_impl(value); }
   bool try_push(T&& value) { return push_impl(std::move(value)); }
+
+  /// Pushes that returned false because the queue was full — the
+  /// data-plane drop signal (see obs::register_spsc_queue). Written only by
+  /// the producer; readable from any thread.
+  std::uint64_t rejected_count() const {
+    // relaxed: standalone statistics counter; synchronizes nothing.
+    return rejected_.load(std::memory_order_relaxed);
+  }
 
   /// Consumer side. Returns nullopt when the queue is empty.
   std::optional<T> try_pop() {
@@ -71,7 +80,11 @@ class SpscQueue {
     // acquire: pairs with the consumer's release store to tail_ — the
     // consumer must have finished moving out of buf_[head] (one lap ago)
     // before we overwrite the slot.
-    if (next == tail_.load(std::memory_order_acquire)) return false;
+    if (next == tail_.load(std::memory_order_acquire)) {
+      // relaxed: statistics counter (see rejected_count()).
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     buf_[head] = std::forward<U>(value);
     // release: pairs with the consumer's acquire load of head_ — publishes
     // the buf_[head] write before the slot becomes poppable.
@@ -83,6 +96,7 @@ class SpscQueue {
   std::size_t mask_ = 0;
   alignas(64) std::atomic<std::size_t> head_{0};
   alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> rejected_{0};
 };
 
 }  // namespace oda

@@ -24,6 +24,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::task_done() {
+  // relaxed: statistics counter (see completed_count()).
+  completed_.fetch_add(1, std::memory_order_relaxed);
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard lock(idle_mu_);
     idle_cv_.notify_all();

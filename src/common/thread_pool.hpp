@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -25,6 +26,23 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Self-instrumentation counters (see obs::register_thread_pool): tasks
+  /// submitted, finished, and submitted-after-shutdown (ran inline), plus
+  /// the current backlog. All monotonic except pending().
+  // relaxed (all four): standalone statistics; they synchronize nothing.
+  std::uint64_t submitted_count() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t completed_count() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected_count() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  std::size_t pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
   /// Submits a callable; the returned future yields its result.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
@@ -37,9 +55,13 @@ class ThreadPool {
     // must themselves order their submits before waiting; no memory order on
     // this counter could wait for a task that has not been submitted yet.
     pending_.fetch_add(1, std::memory_order_relaxed);
+    // relaxed: statistics counter (see submitted_count()).
+    submitted_.fetch_add(1, std::memory_order_relaxed);
     const bool accepted = tasks_.push([task] { (*task)(); });
     if (!accepted) {
       // Pool already shut down: run inline so the future is still satisfied.
+      // relaxed: statistics counter (see rejected_count()).
+      rejected_.fetch_add(1, std::memory_order_relaxed);
       (*task)();
       task_done();
     }
@@ -63,6 +85,9 @@ class ThreadPool {
   BlockingQueue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
   std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;
 };

@@ -1,0 +1,35 @@
+#include "obs/cell.hpp"
+
+namespace oda::obs {
+
+namespace {
+constexpr char kRunsName[] = "oda_analytics_runs_total";
+constexpr char kRunsHelp[] =
+    "Invocations of instrumented analytics capabilities per grid cell";
+constexpr char kSecondsName[] = "oda_analytics_run_seconds";
+constexpr char kSecondsHelp[] =
+    "Latency of instrumented analytics capabilities per grid cell";
+}  // namespace
+
+CellScope::CellScope(const char* pillar, const char* type,
+                     const char* capability)
+    : runs_(MetricsRegistry::global().counter(
+          kRunsName, kRunsHelp,
+          {{"pillar", pillar}, {"type", type}, {"capability", capability}})),
+      seconds_(MetricsRegistry::global().histogram(
+          kSecondsName, kSecondsHelp, default_latency_bounds(),
+          {{"pillar", pillar}, {"type", type}})),
+      capability_(capability),
+      start_us_(Tracer::global().now_us()) {}
+
+CellScope::~CellScope() {
+  const std::uint64_t end_us = Tracer::global().now_us();
+  runs_.inc();
+  seconds_.observe(static_cast<double>(end_us - start_us_) * 1e-6);
+  if (Tracer::global().enabled()) {
+    Tracer::global().record(capability_, "analytics", start_us_,
+                            end_us - start_us_);
+  }
+}
+
+}  // namespace oda::obs

@@ -1,0 +1,40 @@
+// Per-grid-cell cost accounting: every instrumented analytics entry point
+// opens a CellScope naming its (pillar, type) cell and capability id, which
+// feeds
+//   oda_analytics_runs_total{pillar=,type=,capability=}   (counter)
+//   oda_analytics_run_seconds{pillar=,type=}              (histogram)
+// so the 4x4 framework grid gets a live cost-per-cell view (the DCDB
+// Wintermute "plugin overhead accounting" idea applied to our own engines),
+// plus a trace span in the "analytics" category.
+//
+// Pillar/type strings follow core::to_string() spelling
+// ("building-infrastructure", "system-hardware", "system-software",
+// "applications" x "descriptive", "diagnostic", "predictive",
+// "prescriptive"); plain strings keep obs independent of core (which links
+// against the analytics libraries this header instruments).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace oda::obs {
+
+class CellScope {
+ public:
+  /// All three arguments must be string literals (or otherwise outlive the
+  /// scope): they become metric label values and the trace span name.
+  CellScope(const char* pillar, const char* type, const char* capability);
+  CellScope(const CellScope&) = delete;
+  CellScope& operator=(const CellScope&) = delete;
+  ~CellScope();
+
+ private:
+  Counter& runs_;
+  Histogram& seconds_;
+  const char* capability_;
+  std::uint64_t start_us_;
+};
+
+}  // namespace oda::obs

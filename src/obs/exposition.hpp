@@ -1,0 +1,27 @@
+// Exposition formats for MetricsSnapshot: Prometheus text format 0.0.4
+// (scrapeable / checkable with scripts/check_prom.py) and a JSON snapshot
+// for dashboards and tests.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace oda::obs {
+
+/// Prometheus text exposition: # HELP / # TYPE comments, one line per
+/// series, histograms expanded to cumulative _bucket/_sum/_count series.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// JSON document: {"families": [{name, type, help, series|histograms}]}.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Escapes a Prometheus label value (backslash, double-quote, newline).
+std::string escape_label_value(const std::string& value);
+/// Escapes a HELP text (backslash and newline only, per the format spec).
+std::string escape_help_text(const std::string& value);
+/// Renders a sample value: integers exactly, doubles with round-trip
+/// precision, infinities as +Inf/-Inf.
+std::string format_sample_value(double value);
+
+}  // namespace oda::obs

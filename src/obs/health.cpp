@@ -1,0 +1,233 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/table.hpp"
+
+namespace oda::obs {
+
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+std::string label_suffix(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=" + v;
+  }
+  out += '}';
+  return out;
+}
+
+const std::string* label_value(const LabelSet& labels, const std::string& key) {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+HealthCheck zero_is_healthy(const MetricsSnapshot& snap,
+                            const std::string& check_name,
+                            const std::string& family,
+                            const std::string& what) {
+  HealthCheck check;
+  check.name = check_name;
+  if (snap.find(family) == nullptr) {
+    check.ok = true;
+    check.detail = "(no data)";
+    return check;
+  }
+  const double total = snap.total(family);
+  check.ok = total == 0.0;
+  check.detail = fmt("%.0f ", total) + what;
+  return check;
+}
+
+}  // namespace
+
+bool PipelineHealthReport::healthy() const {
+  return std::all_of(checks.begin(), checks.end(),
+                     [](const HealthCheck& c) { return c.ok; });
+}
+
+std::string PipelineHealthReport::render() const {
+  TextTable table({"check", "status", "detail"});
+  table.set_title("PIPELINE HEALTH");
+  table.set_max_width(2, 48);
+  for (const auto& c : checks) {
+    table.add_row({c.name, c.ok ? "ok" : "DEGRADED", c.detail});
+  }
+  return table.render();
+}
+
+PipelineHealthReport assess_pipeline_health(const MetricsSnapshot& snap) {
+  PipelineHealthReport report;
+  report.checks.push_back(zero_is_healthy(
+      snap, "bus.slow_subscribers", "oda_bus_slow_deliveries_total",
+      "deliveries above the bus slow-subscriber threshold"));
+  report.checks.push_back(zero_is_healthy(
+      snap, "pool.rejected", "oda_pool_rejected_total",
+      "tasks rejected by a shut-down pool (ran inline)"));
+  report.checks.push_back(zero_is_healthy(
+      snap, "queue.rejects", "oda_queue_rejected_total",
+      "pushes rejected by a full queue"));
+  report.checks.push_back(zero_is_healthy(
+      snap, "trace.drops", "oda_trace_dropped_total",
+      "spans dropped by a full trace buffer"));
+
+  {
+    HealthCheck check;
+    check.name = "collector.pace";
+    const MetricFamily* fam = snap.find("oda_collector_pass_seconds");
+    if (fam == nullptr || fam->histograms.empty() ||
+        fam->histograms.front().count == 0) {
+      check.ok = true;
+      check.detail = "(no data)";
+    } else {
+      const HistogramValue& h = fam->histograms.front();
+      const double mean = h.sum / static_cast<double>(h.count);
+      // A collector pass that averages over a second cannot keep up with
+      // any realistic sampling period; flag it.
+      check.ok = mean < 1.0;
+      check.detail = fmt("%.2f ms ", mean * 1e3) +
+                     fmt("mean pass over %.0f passes", static_cast<double>(h.count));
+    }
+    report.checks.push_back(std::move(check));
+  }
+
+  {
+    HealthCheck check;
+    check.name = "store.memory";
+    const MetricFamily* fam = snap.find("oda_store_memory_bytes");
+    if (fam == nullptr || fam->values.empty()) {
+      check.ok = true;
+      check.detail = "(no data)";
+    } else {
+      check.ok = true;  // informational: bounded by ring capacity by design
+      check.detail = fmt("%.1f MiB retained", snap.total("oda_store_memory_bytes") /
+                                                  (1024.0 * 1024.0));
+    }
+    report.checks.push_back(std::move(check));
+  }
+  return report;
+}
+
+std::string render_metrics_table(const MetricsSnapshot& snap) {
+  TextTable table({"metric", "type", "value", "detail"});
+  table.set_title("SELF-INSTRUMENTATION METRICS");
+  table.set_align(2, Align::kRight);
+  table.set_max_width(0, 56);
+  table.set_max_width(3, 40);
+  for (const auto& fam : snap.families) {
+    if (fam.type == MetricType::kHistogram) {
+      for (const auto& h : fam.histograms) {
+        const double mean =
+            h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
+        table.add_row({fam.name + label_suffix(h.labels), "histogram",
+                       fmt("%.0f", static_cast<double>(h.count)),
+                       "mean " + fmt("%.3g", mean) + ", sum " +
+                           fmt("%.4g", h.sum)});
+      }
+    } else {
+      for (const auto& v : fam.values) {
+        table.add_row({fam.name + label_suffix(v.labels),
+                       to_string(fam.type), fmt("%.6g", v.value), ""});
+      }
+    }
+  }
+  return table.render();
+}
+
+std::string render_cell_costs(const MetricsSnapshot& snap) {
+  static constexpr const char* kPillars[] = {
+      "building-infrastructure", "system-hardware", "system-software",
+      "applications"};
+  static constexpr const char* kTypes[] = {"descriptive", "diagnostic",
+                                           "predictive", "prescriptive"};
+  struct Cell {
+    std::uint64_t runs = 0;
+    double seconds = 0.0;
+  };
+  std::map<std::pair<std::string, std::string>, Cell> cells;
+  if (const MetricFamily* fam = snap.find("oda_analytics_run_seconds")) {
+    for (const auto& h : fam->histograms) {
+      const std::string* pillar = label_value(h.labels, "pillar");
+      const std::string* type = label_value(h.labels, "type");
+      if (pillar == nullptr || type == nullptr) continue;
+      Cell& cell = cells[{*type, *pillar}];
+      cell.runs += h.count;
+      cell.seconds += h.sum;
+    }
+  }
+
+  TextTable table({"analytics type", "building-infrastructure",
+                   "system-hardware", "system-software", "applications"});
+  table.set_title("ANALYTICS COST PER GRID CELL (runs @ mean ms)");
+  for (const char* type : kTypes) {
+    std::vector<std::string> row{type};
+    for (const char* pillar : kPillars) {
+      const auto it = cells.find({type, pillar});
+      if (it == cells.end() || it->second.runs == 0) {
+        row.push_back("-");
+      } else {
+        const double mean_ms =
+            it->second.seconds / static_cast<double>(it->second.runs) * 1e3;
+        row.push_back(fmt("%.0f", static_cast<double>(it->second.runs)) +
+                      " @ " + fmt("%.2f", mean_ms));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+InstrumentationHandles register_thread_pool(MetricsRegistry& registry,
+                                            const ThreadPool& pool,
+                                            const std::string& pool_label) {
+  InstrumentationHandles out;
+  const LabelSet labels = {{"pool", pool_label}};
+  out.handles.push_back(registry.gauge_callback(
+      "oda_pool_pending_tasks", "Tasks submitted but not yet finished", labels,
+      [&pool] { return static_cast<double>(pool.pending()); }));
+  out.handles.push_back(registry.gauge_callback(
+      "oda_pool_threads", "Worker threads in the pool", labels,
+      [&pool] { return static_cast<double>(pool.thread_count()); }));
+  out.handles.push_back(registry.counter_callback(
+      "oda_pool_submitted_total", "Tasks submitted to the pool", labels,
+      [&pool] { return static_cast<double>(pool.submitted_count()); }));
+  out.handles.push_back(registry.counter_callback(
+      "oda_pool_completed_total", "Tasks that finished executing", labels,
+      [&pool] { return static_cast<double>(pool.completed_count()); }));
+  out.handles.push_back(registry.counter_callback(
+      "oda_pool_rejected_total",
+      "Tasks submitted after shutdown (executed inline on the submitter)",
+      labels,
+      [&pool] { return static_cast<double>(pool.rejected_count()); }));
+  return out;
+}
+
+InstrumentationHandles register_tracer(MetricsRegistry& registry,
+                                       const Tracer& tracer,
+                                       const std::string& tracer_label) {
+  InstrumentationHandles out;
+  const LabelSet labels = {{"tracer", tracer_label}};
+  out.handles.push_back(registry.gauge_callback(
+      "oda_trace_events", "Spans currently retained in trace buffers", labels,
+      [&tracer] { return static_cast<double>(tracer.event_count()); }));
+  out.handles.push_back(registry.counter_callback(
+      "oda_trace_dropped_total", "Spans dropped by a full trace buffer",
+      labels, [&tracer] { return static_cast<double>(tracer.dropped()); }));
+  return out;
+}
+
+}  // namespace oda::obs

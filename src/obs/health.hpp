@@ -1,0 +1,103 @@
+// Pipeline health: turns a MetricsSnapshot into an operator-facing report —
+// per-check verdicts (drops, slow subscribers, rejected tasks, trace
+// buffer overflow), a rendered table of every metric family, and the 4x4
+// grid cost view built from the CellScope series. Also hosts the pull-model
+// registration helpers that connect common/ concurrency primitives (which
+// obs cannot be a dependency of) to the registry via callback gauges.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/blocking_queue.hpp"
+#include "common/spsc_queue.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace oda::obs {
+
+struct HealthCheck {
+  std::string name;     // e.g. "bus.slow_subscribers"
+  bool ok = true;
+  std::string detail;   // human-readable evidence either way
+};
+
+struct PipelineHealthReport {
+  std::vector<HealthCheck> checks;
+
+  bool healthy() const;
+  /// "PIPELINE HEALTH" TextTable (check | status | detail).
+  std::string render() const;
+};
+
+/// Evaluates the standard health checks against a snapshot. Checks degrade
+/// gracefully: a check whose metrics are absent reports ok with "(no data)".
+PipelineHealthReport assess_pipeline_health(const MetricsSnapshot& snapshot);
+
+/// Renders every family as a table: counters/gauges with their summed
+/// value, histograms with count / mean / max-bucket.
+std::string render_metrics_table(const MetricsSnapshot& snapshot);
+
+/// Renders the 4x4 grid of oda_analytics_run_seconds as "runs @ mean-ms"
+/// per (type row, pillar column) — the live cost-per-cell view.
+std::string render_cell_costs(const MetricsSnapshot& snapshot);
+
+/// Keeps a set of callback registrations alive; dropping it unregisters
+/// them (safe teardown before the instrumented object dies).
+struct InstrumentationHandles {
+  std::vector<CallbackHandle> handles;
+};
+
+/// Exports a ThreadPool's queue depth and task counters:
+///   oda_pool_pending_tasks{pool=}, oda_pool_threads{pool=},
+///   oda_pool_submitted_total{pool=}, oda_pool_completed_total{pool=},
+///   oda_pool_rejected_total{pool=}.
+InstrumentationHandles register_thread_pool(MetricsRegistry& registry,
+                                            const ThreadPool& pool,
+                                            const std::string& pool_label);
+
+/// Exports tracer buffer pressure:
+///   oda_trace_events{tracer=}, oda_trace_dropped_total{tracer=}.
+InstrumentationHandles register_tracer(MetricsRegistry& registry,
+                                       const Tracer& tracer,
+                                       const std::string& tracer_label);
+
+/// Exports an SpscQueue's depth gauge and reject counter:
+///   oda_queue_depth{queue=}, oda_queue_rejected_total{queue=}.
+template <typename T>
+InstrumentationHandles register_spsc_queue(MetricsRegistry& registry,
+                                           const SpscQueue<T>& queue,
+                                           const std::string& queue_label) {
+  InstrumentationHandles out;
+  out.handles.push_back(registry.gauge_callback(
+      "oda_queue_depth", "Items currently queued",
+      {{"queue", queue_label}, {"kind", "spsc"}},
+      [&queue] { return static_cast<double>(queue.size_approx()); }));
+  out.handles.push_back(registry.counter_callback(
+      "oda_queue_rejected_total", "Pushes rejected because the queue was full",
+      {{"queue", queue_label}, {"kind", "spsc"}},
+      [&queue] { return static_cast<double>(queue.rejected_count()); }));
+  return out;
+}
+
+/// Exports a BlockingQueue's depth gauge and reject counter:
+///   oda_queue_depth{queue=}, oda_queue_rejected_total{queue=}.
+template <typename T>
+InstrumentationHandles register_blocking_queue(MetricsRegistry& registry,
+                                               const BlockingQueue<T>& queue,
+                                               const std::string& queue_label) {
+  InstrumentationHandles out;
+  out.handles.push_back(registry.gauge_callback(
+      "oda_queue_depth", "Items currently queued",
+      {{"queue", queue_label}, {"kind", "blocking"}},
+      [&queue] { return static_cast<double>(queue.size()); }));
+  out.handles.push_back(registry.counter_callback(
+      "oda_queue_rejected_total", "Pushes rejected because the queue was full",
+      {{"queue", queue_label}, {"kind", "blocking"}},
+      [&queue] { return static_cast<double>(queue.rejected_count()); }));
+  return out;
+}
+
+}  // namespace oda::obs

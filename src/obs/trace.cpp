@@ -1,0 +1,165 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace oda::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+/// Per-thread registration: maps tracer id -> this thread's buffer in that
+/// tracer. Keyed by id (not pointer) so a destroyed tracer's address being
+/// reused can never alias a stale entry. The tracer holds its own shared_ptr
+/// to every buffer, so events survive thread exit until drained.
+std::map<std::uint64_t, std::shared_ptr<void>>& thread_buffer_map() {
+  thread_local std::map<std::uint64_t, std::shared_ptr<void>> map;
+  return map;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    // relaxed: the id only needs uniqueness, not ordering.
+    : tracer_id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_enabled(bool enabled) {
+  // relaxed: see enabled() — an independent flag.
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::set_capacity(std::size_t max_events) {
+  // relaxed: the cap is advisory; record() may overshoot by in-flight spans.
+  capacity_.store(max_events, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  auto& map = thread_buffer_map();
+  const auto it = map.find(tracer_id_);
+  if (it != map.end()) {
+    return *static_cast<ThreadBuffer*>(it->second.get());
+  }
+  auto buf = std::make_shared<ThreadBuffer>();
+  {
+    std::lock_guard lock(mu_);
+    buf->tid = next_tid_++;
+    buffers_.push_back(buf);
+  }
+  map.emplace(tracer_id_, buf);
+  return *buf;
+}
+
+void Tracer::record(const char* name, const char* category,
+                    std::uint64_t ts_us, std::uint64_t dur_us) {
+  // relaxed loads/RMWs: recorded_/dropped_ are statistics; the capacity
+  // check is advisory (a burst may land a few events past the cap, which
+  // only trades a handful of drops — no correctness impact).
+  if (recorded_.load(std::memory_order_relaxed) >=
+      capacity_.load(std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  ThreadBuffer& buf = local_buffer();
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = buf.tid;
+  std::lock_guard lock(buf.mu);
+  buf.events.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard lock(mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard lock(buf->mu);
+    out.insert(out.end(), buf->events.begin(), buf->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return out;
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t n = 0;
+  std::lock_guard lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard buf_lock(buf->mu);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard buf_lock(buf->mu);
+    buf->events.clear();
+  }
+  // relaxed: statistics reset; see record().
+  recorded_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<TraceEvent> evs = events();
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& ev : evs) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+        << json_escape(ev.category) << "\",\"ph\":\"X\",\"ts\":" << ev.ts_us
+        << ",\"dur\":" << ev.dur_us << ",\"pid\":1,\"tid\":" << ev.tid << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace oda::obs

@@ -1,0 +1,152 @@
+// Span tracing for the ODA stack itself: RAII scopes recorded into
+// per-thread buffers and exported as Chrome trace_event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+//   void Collector::collect() {
+//     ODA_TRACE_SPAN("collector.collect");
+//     ...
+//   }
+//
+// Cost model:
+//   * ODA_TRACING=OFF (CMake option): the macro expands to nothing — zero
+//     code, zero data, zero overhead. The Tracer class itself still links
+//     so tooling code compiles either way.
+//   * compiled in, Tracer disabled (default): one relaxed atomic load per
+//     scope entry.
+//   * enabled: two steady_clock reads plus an uncontended per-thread mutex
+//     push (the mutex is only contended while a snapshot drains buffers).
+//
+// Span names must outlive the span (string literals in practice); they are
+// copied into the event on completion, so short names stay allocation-free
+// via SSO.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef ODA_TRACING_ENABLED
+#define ODA_TRACING_ENABLED 1
+#endif
+
+namespace oda::obs {
+
+struct TraceEvent {
+  std::string name;        // e.g. "collector.collect"
+  std::string category;    // layer: "sim", "telemetry", "analytics", ...
+  std::uint64_t ts_us = 0;   // start, microseconds since tracer epoch
+  std::uint64_t dur_us = 0;  // duration in microseconds
+  std::uint32_t tid = 0;     // tracer-assigned thread index
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+  ~Tracer();
+
+  /// The process-wide tracer the ODA_TRACE_SPAN macro records into.
+  static Tracer& global();
+
+  /// Recording is off by default; spans taken while disabled cost one
+  /// relaxed atomic load and record nothing.
+  void set_enabled(bool enabled);
+  bool enabled() const {
+    // relaxed: an independent on/off flag; a span may see a toggle late,
+    // which only means one more or fewer event — no data is guarded by it.
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Caps retained events across all threads (default 1<<16); further
+  /// events are counted in dropped() instead of recorded.
+  void set_capacity(std::size_t max_events);
+  std::uint64_t dropped() const {
+    // relaxed: statistics counter.
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since this tracer was constructed (the trace epoch).
+  std::uint64_t now_us() const;
+
+  /// Records a completed span. Usually called via ODA_TRACE_SPAN.
+  void record(const char* name, const char* category, std::uint64_t ts_us,
+              std::uint64_t dur_us);
+
+  /// Copies every retained event (all threads), ordered by start time.
+  std::vector<TraceEvent> events() const;
+  std::size_t event_count() const;
+  /// Discards retained events and resets the drop counter.
+  void clear();
+
+  /// Chrome trace_event JSON ("traceEvents" array of complete "X" events).
+  std::string to_chrome_json() const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;  // guards events; contended only while draining
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+  };
+
+  ThreadBuffer& local_buffer();
+
+  const std::uint64_t tracer_id_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::size_t> capacity_{1 << 16};
+  mutable std::mutex mu_;  // guards buffers_
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII span: measures construction-to-destruction and records it into
+/// Tracer::global(). Prefer the ODA_TRACE_SPAN macro, which compiles out.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "oda")
+      : name_(name), category_(category) {
+    Tracer& tracer = Tracer::global();
+    if (tracer.enabled()) {
+      armed_ = true;
+      start_us_ = tracer.now_us();
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (armed_) {
+      Tracer& tracer = Tracer::global();
+      tracer.record(name_, category_, start_us_, tracer.now_us() - start_us_);
+    }
+  }
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_us_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace oda::obs
+
+#define ODA_TRACE_CONCAT_INNER(a, b) a##b
+#define ODA_TRACE_CONCAT(a, b) ODA_TRACE_CONCAT_INNER(a, b)
+
+#if ODA_TRACING_ENABLED
+/// Traces the enclosing scope as a span named `name` (a string literal) in
+/// layer `category`. Compiles to nothing when ODA_TRACING=OFF.
+#define ODA_TRACE_SPAN_CAT(name, category)                 \
+  ::oda::obs::TraceSpan ODA_TRACE_CONCAT(oda_trace_span_, \
+                                         __LINE__)((name), (category))
+#else
+#define ODA_TRACE_SPAN_CAT(name, category) static_cast<void>(0)
+#endif
+
+#define ODA_TRACE_SPAN(name) ODA_TRACE_SPAN_CAT(name, "oda")

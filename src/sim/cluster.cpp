@@ -1,11 +1,14 @@
 #include "sim/cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace oda::sim {
 
@@ -151,6 +154,13 @@ void ClusterSimulation::update_rack_inlets() {
 }
 
 void ClusterSimulation::step() {
+  ODA_TRACE_SPAN_CAT("sim.step", "sim");
+  static obs::Histogram& step_seconds = obs::MetricsRegistry::global().histogram(
+      "oda_sim_step_seconds", "Wall time of one simulation step");
+  static obs::Counter& steps = obs::MetricsRegistry::global().counter(
+      "oda_sim_steps_total", "Simulation steps executed");
+  const auto step_start = std::chrono::steady_clock::now();
+
   const Duration dt = params_.dt;
   const TimePoint next = now_ + dt;
 
@@ -229,6 +239,12 @@ void ClusterSimulation::step() {
   facility_energy_j_ += facility_.facility_power_w() * static_cast<double>(dt);
 
   now_ = next;
+
+  steps.inc();
+  step_seconds.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    step_start)
+          .count());
 }
 
 void ClusterSimulation::run_for(Duration d) {

@@ -1,8 +1,11 @@
 #include "telemetry/collector.hpp"
 
+#include <chrono>
 #include <mutex>
 
 #include "common/string_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace oda::telemetry {
 
@@ -18,6 +21,9 @@ std::size_t Collector::add_group(CollectorGroup group) {
   Group g;
   g.def = std::move(group);
   g.sensor_paths = catalog_.match(g.def.pattern);
+  g.samples = &obs::MetricsRegistry::global().counter(
+      "oda_collector_samples_total", "Samples collected per sampling group",
+      {{"group", g.def.name}});
   const std::size_t matched = g.sensor_paths.size();
   groups_.push_back(std::move(g));
   return matched;
@@ -28,6 +34,11 @@ std::size_t Collector::add_all_sensors(Duration period) {
 }
 
 void Collector::collect() {
+  ODA_TRACE_SPAN_CAT("collector.collect", "collector");
+  static obs::Histogram& pass_seconds = obs::MetricsRegistry::global().histogram(
+      "oda_collector_pass_seconds", "Duration of one collect() pass");
+  const auto pass_start = std::chrono::steady_clock::now();
+
   const TimePoint now = cluster_.now();
   for (const auto& group : groups_) {
     if (group.def.period <= 0 || now % group.def.period != 0) continue;
@@ -58,9 +69,16 @@ void Collector::collect() {
     for (const auto& r : readings) {
       if (store_ != nullptr) store_->insert(r);
       if (bus_ != nullptr) bus_->publish(r);
-      ++samples_collected_;
+      // relaxed: monotonic statistics counter (see samples_collected()).
+      samples_collected_.fetch_add(1, std::memory_order_relaxed);
     }
+    group.samples->inc(readings.size());
   }
+
+  pass_seconds.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    pass_start)
+          .count());
 }
 
 }  // namespace oda::telemetry

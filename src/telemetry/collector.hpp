@@ -5,6 +5,7 @@
 // spread across a thread pool.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -16,6 +17,10 @@
 #include "telemetry/bus.hpp"
 #include "telemetry/sample.hpp"
 #include "telemetry/store.hpp"
+
+namespace oda::obs {
+class Counter;
+}  // namespace oda::obs
 
 namespace oda::telemetry {
 
@@ -42,12 +47,18 @@ class Collector {
 
   /// Catalog of all sensors known to the collector's cluster.
   const SensorCatalog& catalog() const { return catalog_; }
-  std::uint64_t samples_collected() const { return samples_collected_; }
+  /// Total samples fanned out across all groups. Atomic so dashboards may
+  /// poll it while collect() runs on the pipeline thread.
+  std::uint64_t samples_collected() const {
+    // relaxed: monotonic statistics counter; synchronizes nothing.
+    return samples_collected_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Group {
     CollectorGroup def;
     std::vector<std::string> sensor_paths;
+    obs::Counter* samples = nullptr;  // owned by the global registry
   };
 
   sim::ClusterSimulation& cluster_;
@@ -56,7 +67,7 @@ class Collector {
   ThreadPool* pool_;
   SensorCatalog catalog_;
   std::vector<Group> groups_;
-  std::uint64_t samples_collected_ = 0;
+  std::atomic<std::uint64_t> samples_collected_{0};
 };
 
 }  // namespace oda::telemetry

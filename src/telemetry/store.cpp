@@ -8,8 +8,39 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
+#include "obs/metrics.hpp"
 
 namespace oda::telemetry {
+
+namespace {
+
+/// Process-wide store metrics (aggregate over every TimeSeriesStore — the
+/// per-instance total_inserted() accessor remains exact per store). The
+/// memory gauge grows by an estimate of each new series' footprint; ring
+/// storage is preallocated at full capacity, so the estimate is taken once
+/// at series creation. Stores are pipeline-lifetime objects, so the gauge is
+/// treated as monotone (no subtraction on store destruction).
+struct StoreMetrics {
+  obs::Counter& inserts;
+  obs::Counter& queries;
+  obs::Gauge& memory_bytes;
+
+  static StoreMetrics& get() {
+    static StoreMetrics m{
+        obs::MetricsRegistry::global().counter("oda_store_inserts_total",
+                                               "Samples inserted into any store"),
+        obs::MetricsRegistry::global().counter(
+            "oda_store_queries_total",
+            "Time-range queries served (including aggregated/frame reads)"),
+        obs::MetricsRegistry::global().gauge(
+            "oda_store_memory_bytes",
+            "Approximate bytes retained across all stores"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 double aggregate(const std::vector<double>& values, Aggregation agg) {
   if (values.empty()) return std::nan("");
@@ -52,13 +83,20 @@ TimeSeriesStore::TimeSeriesStore(std::size_t capacity_per_sensor)
 }
 
 void TimeSeriesStore::insert(const std::string& path, Sample sample) {
-  std::unique_lock lock(mu_);
-  auto it = series_.find(path);
-  if (it == series_.end()) {
-    it = series_.emplace(path, std::make_unique<Series>(capacity_)).first;
+  StoreMetrics& metrics = StoreMetrics::get();
+  {
+    std::unique_lock lock(mu_);
+    auto it = series_.find(path);
+    if (it == series_.end()) {
+      it = series_.emplace(path, std::make_unique<Series>(capacity_)).first;
+      // Ring storage is preallocated: capacity slots plus map-node overhead.
+      metrics.memory_bytes.add(
+          static_cast<double>(capacity_ * sizeof(Sample) + path.size() + 64));
+    }
+    it->second->samples.push(sample);
+    ++total_inserted_;
   }
-  it->second->samples.push(sample);
-  ++total_inserted_;
+  metrics.inserts.inc();
 }
 
 void TimeSeriesStore::insert(const Reading& reading) {
@@ -113,6 +151,7 @@ std::optional<Sample> TimeSeriesStore::latest(const std::string& path) const {
 
 SeriesSlice TimeSeriesStore::query(const std::string& path, TimePoint from,
                                    TimePoint to) const {
+  StoreMetrics::get().queries.inc();
   std::shared_lock lock(mu_);
   SeriesSlice out;
   const Series* s = find_series(path);

@@ -60,6 +60,58 @@ TEST(Log, LevelNames) {
   EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
 }
 
+TEST(Log, ThreadIdIsStableAndNonzero) {
+  const std::size_t id = Log::thread_id();
+  EXPECT_GT(id, 0u);
+  EXPECT_EQ(Log::thread_id(), id);  // stable within a thread
+}
+
+TEST(CaptureSink, CapturesLevelsAndMessages) {
+  CaptureSink sink;
+  Log::set_level(LogLevel::kWarn);
+  ODA_LOG_DEBUG << "below threshold";
+  ODA_LOG_WARN << "slow subscriber " << 7;
+  ODA_LOG_ERROR << "boom";
+  ASSERT_EQ(sink.size(), 2u);
+  const auto lines = sink.lines();
+  EXPECT_EQ(lines[0], "[WARN] slow subscriber 7");
+  EXPECT_EQ(lines[1], "[ERROR] boom");
+  EXPECT_TRUE(sink.contains("slow subscriber"));
+  EXPECT_FALSE(sink.contains("below threshold"));
+  EXPECT_EQ(sink.count(LogLevel::kWarn), 1u);
+  EXPECT_EQ(sink.count(LogLevel::kError), 1u);
+  EXPECT_EQ(sink.count(LogLevel::kDebug), 0u);
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(CaptureSink, RingKeepsOnlyMostRecent) {
+  CaptureSink sink(/*capacity=*/3);
+  Log::set_level(LogLevel::kWarn);
+  for (int i = 0; i < 5; ++i) {
+    ODA_LOG_WARN << "line " << i;
+  }
+  ASSERT_EQ(sink.size(), 3u);
+  const auto lines = sink.lines();
+  EXPECT_EQ(lines.front(), "[WARN] line 2");  // oldest retained
+  EXPECT_EQ(lines.back(), "[WARN] line 4");
+  EXPECT_FALSE(sink.contains("line 0"));
+}
+
+TEST(CaptureSink, RestoresDefaultSinkOnDestruction) {
+  std::vector<std::string> outer;
+  { CaptureSink sink; }
+  // After destruction the custom sink below must receive writes again.
+  Log::set_sink([&outer](LogLevel, const std::string& msg) {
+    outer.push_back(msg);
+  });
+  Log::set_level(LogLevel::kWarn);
+  ODA_LOG_WARN << "after capture";
+  Log::set_sink(nullptr);
+  ASSERT_EQ(outer.size(), 1u);
+  EXPECT_EQ(outer[0], "after capture");
+}
+
 // ------------------------------------------------------------------- table
 
 TEST(TextTable, AlignmentModes) {

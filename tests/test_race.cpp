@@ -20,6 +20,7 @@
 #include "common/blocking_queue.hpp"
 #include "common/spsc_queue.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "telemetry/bus.hpp"
 
 namespace oda {
@@ -399,6 +400,124 @@ TEST(RaceMessageBus, ReentrantPublishFromCallback) {
   }
   for (auto& p : pubs) p.join();
   EXPECT_EQ(derived_seen.load(), 2 * kBusMessages);
+}
+
+// -------------------------------------------------------- MetricsRegistry
+
+// The registry's contract is mutex-guarded registration handing out stable
+// instrument references whose hot-path ops are lock-free atomics. Hammer
+// registration, increments, observations, and snapshots simultaneously:
+// TSan checks the synchronization, the conservation sums check the counts.
+TEST(RaceMetricsRegistry, ConcurrentIncObserveSnapshot) {
+  obs::MetricsRegistry reg;
+  constexpr int kWriters = 4;
+  constexpr int kEventsEach = 20000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 1);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&reg, w] {
+      // Every writer re-registers its instruments each round; half the
+      // series are shared across writers, half are per-writer.
+      const std::string who = std::to_string(w % 2);
+      for (int i = 0; i < kEventsEach; ++i) {
+        reg.counter("oda_race_events_total", "events", {{"writer", who}})
+            .inc();
+        reg.gauge("oda_race_depth", "depth", {{"writer", who}})
+            .set(static_cast<double>(i));
+        reg.histogram("oda_race_seconds", "latency",
+                      std::vector<double>{0.25, 0.5, 0.75}, {})
+            .observe(static_cast<double>(i % 100) / 100.0);
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  threads.emplace_back([&] {
+    // Snapshot continuously while writers are mid-flight; totals must be
+    // monotone for counters even though the cut is not consistent.
+    double last_total = 0.0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::MetricsSnapshot snap = reg.snapshot();
+      const double total = snap.total("oda_race_events_total");
+      ASSERT_GE(total, last_total);
+      last_total = total;
+    }
+  });
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads[static_cast<std::size_t>(w)].join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  threads.back().join();
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.total("oda_race_events_total"),
+                   static_cast<double>(kWriters) * kEventsEach);
+  const obs::MetricFamily* hist = snap.find("oda_race_seconds");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->histograms.size(), 1u);
+  EXPECT_EQ(hist->histograms.front().count,
+            static_cast<std::uint64_t>(kWriters) * kEventsEach);
+}
+
+// The instrumented bus publish path updates per-instance counters, global
+// registry counters, per-subscriber stats, and a publish-latency histogram
+// on every call. Stress it from parallel publishers and verify the global
+// series advanced by exactly the published volume. Deltas, not absolutes:
+// the global registry aggregates across every bus in the process.
+TEST(RaceMessageBus, InstrumentedPublishKeepsGlobalCountersExact) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  const obs::MetricsSnapshot before = reg.snapshot();
+  const double published_before = before.total("oda_bus_published_total");
+  const double delivered_before = before.total("oda_bus_delivered_total");
+  std::uint64_t observed_before = 0;
+  if (const obs::MetricFamily* fam = before.find("oda_bus_publish_seconds")) {
+    for (const auto& h : fam->histograms) observed_before += h.count;
+  }
+
+  telemetry::MessageBus bus;
+  constexpr int kPublishers = 4;
+  std::atomic<std::uint64_t> received{0};
+  bus.subscribe("obs/*", [&](const telemetry::Reading&) {
+    received.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  std::vector<std::thread> pubs;
+  pubs.reserve(kPublishers);
+  for (int p = 0; p < kPublishers; ++p) {
+    pubs.emplace_back([&, p] {
+      for (int i = 0; i < kBusMessages; ++i) {
+        bus.publish("obs/" + std::to_string(p), i, static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& p : pubs) p.join();
+
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(kPublishers) * kBusMessages;
+  EXPECT_EQ(received.load(), want);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.total("oda_bus_published_total") - published_before,
+                   static_cast<double>(want));
+  EXPECT_DOUBLE_EQ(snap.total("oda_bus_delivered_total") - delivered_before,
+                   static_cast<double>(want));
+  // The per-pattern subscriber series for this bus instance is exact.
+  const obs::MetricFamily* per_sub =
+      snap.find("oda_bus_subscriber_deliveries_total");
+  ASSERT_NE(per_sub, nullptr);
+  double obs_pattern_total = 0.0;
+  for (const auto& v : per_sub->values) {
+    for (const auto& [k, label] : v.labels) {
+      if (k == "pattern" && label == "obs/*") obs_pattern_total += v.value;
+    }
+  }
+  EXPECT_DOUBLE_EQ(obs_pattern_total, static_cast<double>(want));
+  // Publish latency histogram observed one value per publish call.
+  const obs::MetricFamily* latency = snap.find("oda_bus_publish_seconds");
+  ASSERT_NE(latency, nullptr);
+  std::uint64_t observed_after = 0;
+  for (const auto& h : latency->histograms) observed_after += h.count;
+  EXPECT_EQ(observed_after - observed_before, want);
 }
 
 }  // namespace
