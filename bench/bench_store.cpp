@@ -1,0 +1,329 @@
+// Telemetry-store throughput bench: insert throughput single/multi-thread
+// for the sharded store vs. a faithful replica of the pre-shard design (one
+// shared_mutex over a string-keyed map, one lock per sample), plus query /
+// query_aggregated / frame latency and the collector's serial vs. parallel
+// pass time. Emits --json via bench_util.hpp for scripts/collect_bench.py;
+// --quick shrinks the workload for CI smoke runs.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/cluster.hpp"
+#include "telemetry/collector.hpp"
+#include "telemetry/series_id.hpp"
+#include "telemetry/store.hpp"
+
+namespace {
+
+using oda::RingBuffer;
+using oda::Rng;
+using oda::ThreadPool;
+using oda::TimePoint;
+using oda::telemetry::Aggregation;
+using oda::telemetry::IdReading;
+using oda::telemetry::Sample;
+using oda::telemetry::SeriesId;
+using oda::telemetry::SeriesInterner;
+using oda::telemetry::SeriesSlice;
+using oda::telemetry::TimeSeriesStore;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The pre-shard TimeSeriesStore ingest design, kept here as the comparison
+/// baseline: one reader/writer lock over a string-keyed ordered map, one
+/// lookup + lock acquisition per sample.
+class SingleMutexStore {
+ public:
+  explicit SingleMutexStore(std::size_t capacity) : capacity_(capacity) {}
+
+  void insert(const std::string& path, Sample sample) {
+    std::unique_lock lock(mu_);
+    auto it = series_.find(path);
+    if (it == series_.end()) {
+      it = series_
+               .emplace(path,
+                        std::make_unique<RingBuffer<Sample>>(capacity_))
+               .first;
+    }
+    it->second->push(sample);
+  }
+
+  SeriesSlice query(const std::string& path, TimePoint from,
+                    TimePoint to) const {
+    std::shared_lock lock(mu_);
+    SeriesSlice out;
+    const auto it = series_.find(path);
+    if (it == series_.end()) return out;
+    const auto& buf = *it->second;
+    std::size_t lo = 0, hi = buf.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (buf[mid].time < from) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    for (std::size_t i = lo; i < buf.size() && buf[i].time < to; ++i) {
+      out.times.push_back(buf[i].time);
+      out.values.push_back(buf[i].value);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<RingBuffer<Sample>>> series_;
+};
+
+std::vector<std::string> make_paths(std::size_t n) {
+  std::vector<std::string> paths;
+  paths.reserve(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "bench/rack%02zu/node%02zu/power", p / 16,
+                  p % 16);
+    paths.emplace_back(buf);
+  }
+  return paths;
+}
+
+/// Multi-threaded ingest: each thread writes its own stripe of paths (the
+/// collector-group pattern), `samples` total across all threads. Returns
+/// million samples per second.
+template <typename InsertThread>
+double timed_msps(std::size_t threads, std::size_t samples,
+                  InsertThread&& body) {
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&body, t] { body(t); });
+  }
+  for (auto& w : workers) w.join();
+  return static_cast<double>(samples) / seconds_since(start) / 1e6;
+}
+
+struct InsertNumbers {
+  double sharded_st = 0, sharded_mt = 0, legacy_st = 0, legacy_mt = 0;
+};
+
+InsertNumbers bench_inserts(std::size_t n_paths, std::size_t per_thread,
+                            std::size_t threads, std::size_t batch) {
+  const std::vector<std::string> paths = make_paths(n_paths);
+  std::vector<SeriesId> ids;
+  ids.reserve(n_paths);
+  for (const auto& p : paths) ids.push_back(SeriesInterner::global().intern(p));
+
+  InsertNumbers out;
+  const auto sharded_writer = [&](TimeSeriesStore& store, std::size_t t,
+                                  std::size_t nthreads) {
+    // Stripe the path set across threads; batch like a collector pass.
+    std::vector<IdReading> buf;
+    buf.reserve(batch);
+    TimePoint now = 0;
+    for (std::size_t i = 0; i < per_thread; ++i) {
+      const std::size_t p = (t + i * nthreads) % n_paths;
+      buf.push_back({ids[p], {now, static_cast<double>(i)}});
+      if (buf.size() == batch) {
+        store.insert_batch(std::span<const IdReading>(buf));
+        buf.clear();
+        ++now;
+      }
+    }
+    if (!buf.empty()) store.insert_batch(std::span<const IdReading>(buf));
+  };
+  const auto legacy_writer = [&](SingleMutexStore& store, std::size_t t,
+                                 std::size_t nthreads) {
+    TimePoint now = 0;
+    for (std::size_t i = 0; i < per_thread; ++i) {
+      const std::size_t p = (t + i * nthreads) % n_paths;
+      store.insert(paths[p], {now, static_cast<double>(i)});
+      if (i % batch == batch - 1) ++now;
+    }
+  };
+
+  {
+    TimeSeriesStore store(1 << 12);
+    out.sharded_st =
+        timed_msps(1, per_thread, [&](std::size_t t) { sharded_writer(store, t, 1); });
+  }
+  {
+    TimeSeriesStore store(1 << 12);
+    out.sharded_mt = timed_msps(threads, per_thread * threads, [&](std::size_t t) {
+      sharded_writer(store, t, threads);
+    });
+  }
+  {
+    SingleMutexStore store(1 << 12);
+    out.legacy_st =
+        timed_msps(1, per_thread, [&](std::size_t t) { legacy_writer(store, t, 1); });
+  }
+  {
+    SingleMutexStore store(1 << 12);
+    out.legacy_mt = timed_msps(threads, per_thread * threads, [&](std::size_t t) {
+      legacy_writer(store, t, threads);
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  oda::bench::BenchReport report("bench_store", argc, argv);
+
+  const std::size_t threads =
+      std::max<std::size_t>(2, std::min<std::size_t>(
+                                   8, std::thread::hardware_concurrency()));
+  const std::size_t n_paths = 256;
+  const std::size_t per_thread = quick ? 100'000 : 1'000'000;
+  const std::size_t batch = 256;
+
+  // ------------------------------------------------------------- ingest
+  const InsertNumbers ins = bench_inserts(n_paths, per_thread, threads, batch);
+  const double mt_speedup = ins.sharded_mt / ins.legacy_mt;
+  std::printf("insert throughput (%zu paths, batch %zu):\n", n_paths, batch);
+  std::printf("  sharded      1 thread  %8.2f Msamples/s\n", ins.sharded_st);
+  std::printf("  sharded     %2zu threads %8.2f Msamples/s\n", threads,
+              ins.sharded_mt);
+  std::printf("  single-mutex 1 thread  %8.2f Msamples/s\n", ins.legacy_st);
+  std::printf("  single-mutex%2zu threads %8.2f Msamples/s\n", threads,
+              ins.legacy_mt);
+  std::printf("  multi-thread speedup vs single-mutex: x%.2f\n\n", mt_speedup);
+  report.add("insert_sharded_1t_msps", ins.sharded_st, "Msamples/s");
+  report.add("insert_sharded_mt_msps", ins.sharded_mt, "Msamples/s");
+  report.add("insert_single_mutex_1t_msps", ins.legacy_st, "Msamples/s");
+  report.add("insert_single_mutex_mt_msps", ins.legacy_mt, "Msamples/s");
+  report.add("insert_mt_speedup_vs_single_mutex", mt_speedup, "x");
+  report.add("insert_threads", static_cast<double>(threads), "");
+
+  // ------------------------------------------------------------- queries
+  const std::size_t q_samples = quick ? 20'000 : 200'000;
+  TimeSeriesStore store(q_samples + 1);
+  SingleMutexStore legacy(q_samples + 1);
+  const std::vector<std::string> qpaths = make_paths(16);
+  for (const auto& p : qpaths) {
+    for (std::size_t i = 0; i < q_samples; ++i) {
+      const Sample s{static_cast<TimePoint>(i),
+                     static_cast<double>(i % 997) * 0.5};
+      store.insert(p, s);
+      legacy.insert(p, s);
+    }
+  }
+  const auto to = static_cast<TimePoint>(q_samples);
+  const int q_reps = quick ? 20 : 100;
+
+  auto start = std::chrono::steady_clock::now();
+  std::size_t sink = 0;
+  for (int r = 0; r < q_reps; ++r) {
+    sink += store.query(qpaths[r % qpaths.size()], to / 4, 3 * to / 4).size();
+  }
+  const double query_us = seconds_since(start) / q_reps * 1e6;
+
+  start = std::chrono::steady_clock::now();
+  for (int r = 0; r < q_reps; ++r) {
+    sink += legacy.query(qpaths[r % qpaths.size()], to / 4, 3 * to / 4).size();
+  }
+  const double legacy_query_us = seconds_since(start) / q_reps * 1e6;
+
+  start = std::chrono::steady_clock::now();
+  for (int r = 0; r < q_reps; ++r) {
+    sink += store
+                .query_aggregated(qpaths[r % qpaths.size()], 0, to, 60,
+                                  Aggregation::kStdDev)
+                .size();
+  }
+  const double agg_us = seconds_since(start) / q_reps * 1e6;
+
+  const int f_reps = quick ? 5 : 20;
+  start = std::chrono::steady_clock::now();
+  for (int r = 0; r < f_reps; ++r) {
+    sink += store.frame(qpaths, 0, to, 60, Aggregation::kMean).rows();
+  }
+  const double frame_ms = seconds_since(start) / f_reps * 1e3;
+
+  ThreadPool pool;
+  store.set_pool(&pool);
+  start = std::chrono::steady_clock::now();
+  for (int r = 0; r < f_reps; ++r) {
+    sink += store.frame(qpaths, 0, to, 60, Aggregation::kMean).rows();
+  }
+  const double frame_parallel_ms = seconds_since(start) / f_reps * 1e3;
+  store.set_pool(nullptr);
+
+  std::printf("query latency (%zu samples/series):\n", q_samples);
+  std::printf("  query half-range        %10.1f us   (single-mutex %10.1f us)\n",
+              query_us, legacy_query_us);
+  std::printf("  query_aggregated stddev %10.1f us\n", agg_us);
+  std::printf("  frame 16 cols serial    %10.2f ms, pooled %10.2f ms (x%.2f)\n\n",
+              frame_ms, frame_parallel_ms, frame_ms / frame_parallel_ms);
+  report.add("query_us", query_us, "us");
+  report.add("query_single_mutex_us", legacy_query_us, "us");
+  report.add("query_aggregated_stddev_us", agg_us, "us");
+  report.add("frame_serial_ms", frame_ms, "ms");
+  report.add("frame_parallel_ms", frame_parallel_ms, "ms");
+  report.add("frame_parallel_speedup", frame_ms / frame_parallel_ms, "x");
+
+  // ------------------------------------------------- collector pass time
+  // Serial vs. pool-fanned sensor reads (the fault overlay no longer
+  // serializes the parallel path). Same cluster/workload either way.
+  std::size_t sensor_count = 0;
+  const auto collector_pass_seconds = [&](bool parallel) {
+    oda::sim::ClusterParams params;
+    params.racks = 8;
+    params.nodes_per_rack = 32;
+    oda::sim::ClusterSimulation cluster(params);
+    sensor_count = cluster.sensors().size();
+    for (std::size_t i = 0; i < cluster.sensors().size(); i += 7) {
+      cluster.faults().schedule({oda::sim::FaultKind::kSensorNoise,
+                                 cluster.sensors()[i].path, 0, 1 << 20, 0.5});
+    }
+    TimeSeriesStore cstore(1 << 10);
+    ThreadPool cpool;
+    oda::telemetry::Collector collector(cluster, &cstore, nullptr,
+                                        parallel ? &cpool : nullptr);
+    collector.add_all_sensors(params.dt);
+    const int passes = quick ? 5 : 40;
+    cluster.step();
+    collector.collect();  // warm-up: intern + create series
+    const auto c_start = std::chrono::steady_clock::now();
+    for (int pass = 0; pass < passes; ++pass) {
+      cluster.step();
+      collector.collect();
+    }
+    return seconds_since(c_start) / passes;
+  };
+  const double serial_pass = collector_pass_seconds(false);
+  const double parallel_pass = collector_pass_seconds(true);
+  std::printf("collector pass (8x32 nodes, %zu sensors):\n  serial %8.2f ms, "
+              "parallel %8.2f ms -> x%.2f\n",
+              sensor_count, serial_pass * 1e3, parallel_pass * 1e3,
+              serial_pass / parallel_pass);
+  report.add("collector_serial_pass_ms", serial_pass * 1e3, "ms");
+  report.add("collector_parallel_pass_ms", parallel_pass * 1e3, "ms");
+  report.add("collector_parallel_speedup", serial_pass / parallel_pass, "x");
+
+  if (sink == 0) std::printf("(empty results?)\n");
+  return 0;
+}

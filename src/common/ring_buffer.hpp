@@ -3,7 +3,10 @@
 // is reached, bounding memory for unbounded telemetry streams.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -21,7 +24,9 @@ class RingBuffer {
   /// Appends an element, overwriting the oldest when full.
   void push(T value) {
     buf_[head_] = std::move(value);
-    head_ = (head_ + 1) % capacity_;
+    // head_ < capacity_ always holds, so a compare beats the integer divide
+    // a general modulo costs on this per-sample hot path.
+    if (++head_ == capacity_) head_ = 0;
     if (size_ < capacity_) ++size_;
   }
 
@@ -42,6 +47,17 @@ class RingBuffer {
   void clear() {
     head_ = 0;
     size_ = 0;
+  }
+
+  /// The retained elements as (at most) two contiguous spans, oldest-first:
+  /// concatenating first and second yields the same sequence as indexing 0
+  /// .. size()-1. Lets readers walk the storage directly instead of paying a
+  /// modulo per element; the spans are invalidated by the next push().
+  std::pair<std::span<const T>, std::span<const T>> spans() const {
+    const std::size_t start = (head_ + capacity_ - size_) % capacity_;
+    const std::size_t first_len = std::min(size_, capacity_ - start);
+    return {std::span<const T>(buf_.data() + start, first_len),
+            std::span<const T>(buf_.data(), size_ - first_len)};
   }
 
   /// Copies retained elements oldest-first.

@@ -257,10 +257,14 @@ bool ClusterSimulation::has_sensor(const std::string& path) const {
 }
 
 double ClusterSimulation::read_sensor(const std::string& path) {
+  return read_sensor(path, rng_);
+}
+
+double ClusterSimulation::read_sensor(const std::string& path, Rng& rng) const {
   const auto it = sensor_index_.find(path);
   ODA_REQUIRE(it != sensor_index_.end(), "unknown sensor: " + path);
   const double raw = sensors_[it->second].read();
-  return faults_.apply_sensor_faults(path, raw, now_, rng_);
+  return faults_.apply_sensor_faults(path, raw, now_, rng);
 }
 
 std::vector<std::pair<std::string, double>> ClusterSimulation::sample_all() {

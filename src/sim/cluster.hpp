@@ -65,6 +65,11 @@ class ClusterSimulation {
   const std::vector<SensorDef>& sensors() const { return sensors_; }
   /// Reading with the fault overlay applied — what ODA should consume.
   double read_sensor(const std::string& path);
+  /// Same, but drawing overlay randomness (spike/noise faults) from the
+  /// caller's Rng instead of the simulation stream. Safe to call from many
+  /// threads at once over a quiescent simulator (between step()s) — the
+  /// collector's parallel read path uses one split Rng per chunk.
+  double read_sensor(const std::string& path, Rng& rng) const;
   bool has_sensor(const std::string& path) const;
   /// Samples every sensor (fault overlay applied).
   std::vector<std::pair<std::string, double>> sample_all();

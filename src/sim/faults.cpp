@@ -33,10 +33,29 @@ bool is_sensor_fault(FaultKind k) {
   }
 }
 
+FaultInjector::FaultInjector(FaultInjector&& other) noexcept
+    : events_(std::move(other.events_)),
+      activated_(std::move(other.activated_)),
+      hook_(std::move(other.hook_)),
+      stuck_values_(std::move(other.stuck_values_)),
+      stuck_captured_(std::move(other.stuck_captured_)) {}
+
+FaultInjector& FaultInjector::operator=(FaultInjector&& other) noexcept {
+  if (this != &other) {
+    events_ = std::move(other.events_);
+    activated_ = std::move(other.activated_);
+    hook_ = std::move(other.hook_);
+    stuck_values_ = std::move(other.stuck_values_);
+    stuck_captured_ = std::move(other.stuck_captured_);
+  }
+  return *this;
+}
+
 void FaultInjector::schedule(FaultEvent event) {
   ODA_REQUIRE(event.end > event.start, "fault window must be non-empty");
   events_.push_back(std::move(event));
   activated_.push_back(false);
+  std::lock_guard lock(stuck_mu_);
   stuck_values_.push_back(0.0);
   stuck_captured_.push_back(false);
 }
@@ -63,17 +82,22 @@ double FaultInjector::apply_sensor_faults(const std::string& path, double raw,
     const FaultEvent& e = events_[i];
     if (!is_sensor_fault(e.kind) || e.target != path) continue;
     if (!e.active_at(now)) {
-      stuck_captured_[i] = false;  // re-arm for a later window
+      if (e.kind == FaultKind::kSensorStuck) {
+        std::lock_guard lock(stuck_mu_);
+        stuck_captured_[i] = false;  // re-arm for a later window
+      }
       continue;
     }
     switch (e.kind) {
-      case FaultKind::kSensorStuck:
+      case FaultKind::kSensorStuck: {
+        std::lock_guard lock(stuck_mu_);
         if (!stuck_captured_[i]) {
           stuck_values_[i] = value;
           stuck_captured_[i] = true;
         }
         value = stuck_values_[i];
         break;
+      }
       case FaultKind::kSensorDrift: {
         const double hours =
             static_cast<double>(now - e.start) / static_cast<double>(kHour);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,15 @@ class FaultInjector {
  public:
   using ComponentHook = std::function<void(const FaultEvent&, bool activate)>;
 
+  FaultInjector() = default;
+  // Movable so ClusterSimulation stays movable: the stuck-state mutex is not
+  // moved (the destination gets a fresh one). Only safe while no reader is
+  // concurrently applying overlays — trivially true during setup moves.
+  FaultInjector(FaultInjector&& other) noexcept;
+  FaultInjector& operator=(FaultInjector&& other) noexcept;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
   void schedule(FaultEvent event);
   const std::vector<FaultEvent>& events() const { return events_; }
 
@@ -62,7 +72,10 @@ class FaultInjector {
   void step(TimePoint prev, TimePoint now);
 
   /// Transforms a raw sensor reading according to the sensor faults active
-  /// at `now` for `path`.
+  /// at `now` for `path`. Thread-safe for concurrent readers as long as each
+  /// caller brings its own Rng (the collector's parallel read path does) and
+  /// no thread is mutating the schedule; the lazily captured stuck-fault
+  /// state is internally locked.
   double apply_sensor_faults(const std::string& path, double raw,
                              TimePoint now, Rng& rng) const;
 
@@ -75,7 +88,10 @@ class FaultInjector {
   std::vector<FaultEvent> events_;
   std::vector<bool> activated_;  // component faults currently applied
   ComponentHook hook_;
-  // Per stuck-fault frozen value, keyed by event index (lazily captured).
+  // Per stuck-fault frozen value, keyed by event index (lazily captured
+  // during reads, so guarded for the parallel-collector path; only touched
+  // when a stuck fault targets the path being read).
+  mutable std::mutex stuck_mu_;
   mutable std::vector<double> stuck_values_;
   mutable std::vector<bool> stuck_captured_;
 };

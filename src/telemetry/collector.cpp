@@ -1,7 +1,7 @@
 #include "telemetry/collector.hpp"
 
 #include <chrono>
-#include <mutex>
+#include <future>
 
 #include "common/string_util.hpp"
 #include "obs/metrics.hpp"
@@ -11,7 +11,11 @@ namespace oda::telemetry {
 
 Collector::Collector(sim::ClusterSimulation& cluster, TimeSeriesStore* store,
                      MessageBus* bus, ThreadPool* pool)
-    : cluster_(cluster), store_(store), bus_(bus), pool_(pool) {
+    : cluster_(cluster),
+      store_(store),
+      bus_(bus),
+      pool_(pool),
+      overlay_rng_(cluster.params().seed ^ 0x0DAC0113C708ULL) {
   for (const auto& s : cluster.sensors()) {
     catalog_.add({s.path, s.unit});
   }
@@ -21,6 +25,10 @@ std::size_t Collector::add_group(CollectorGroup group) {
   Group g;
   g.def = std::move(group);
   g.sensor_paths = catalog_.match(g.def.pattern);
+  g.sensor_ids.reserve(g.sensor_paths.size());
+  for (const auto& path : g.sensor_paths) {
+    g.sensor_ids.push_back(SeriesInterner::global().intern(path));
+  }
   g.samples = &obs::MetricsRegistry::global().counter(
       "oda_collector_samples_total", "Samples collected per sampling group",
       {{"group", g.def.name}});
@@ -33,6 +41,41 @@ std::size_t Collector::add_all_sensors(Duration period) {
   return add_group({"all", "*", period});
 }
 
+void Collector::read_group(const Group& group, TimePoint now,
+                           std::vector<IdReading>& readings) {
+  const std::size_t n = group.sensor_paths.size();
+  if (pool_ != nullptr && n >= 64) {
+    // Genuinely parallel reads: each chunk owns a split of overlay_rng_, so
+    // no lock serializes the fault overlay. Reads are const over a quiescent
+    // simulator (collect() runs between step()s); the lazily captured
+    // stuck-fault state is locked inside FaultInjector. Per-read overlay
+    // ordering is not promised, so the stream reshuffle is fine.
+    const std::size_t chunks = std::min(n, pool_->thread_count() * 4);
+    const std::size_t chunk = (n + chunks - 1) / chunks;
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (std::size_t lo = 0; lo < n; lo += chunk) {
+      const std::size_t hi = std::min(lo + chunk, n);
+      futures.push_back(pool_->submit(
+          [this, &group, &readings, lo, hi, now,
+           rng = overlay_rng_.split(lo)]() mutable {
+            for (std::size_t i = lo; i < hi; ++i) {
+              readings[i] = IdReading{
+                  group.sensor_ids[i],
+                  {now, cluster_.read_sensor(group.sensor_paths[i], rng)}};
+            }
+          }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      readings[i] = IdReading{
+          group.sensor_ids[i],
+          {now, cluster_.read_sensor(group.sensor_paths[i])}};
+    }
+  }
+}
+
 void Collector::collect() {
   ODA_TRACE_SPAN_CAT("collector.collect", "collector");
   static obs::Histogram& pass_seconds = obs::MetricsRegistry::global().histogram(
@@ -43,35 +86,19 @@ void Collector::collect() {
   for (const auto& group : groups_) {
     if (group.def.period <= 0 || now % group.def.period != 0) continue;
 
-    std::vector<Reading> readings(group.sensor_paths.size());
-    if (pool_ != nullptr && group.sensor_paths.size() >= 64) {
-      // Note: ClusterSimulation::read_sensor applies the fault overlay with
-      // its own RNG; parallel reads are safe because the overlay RNG is only
-      // consulted for spike/noise faults, whose per-read ordering we do not
-      // promise. Reads themselves are const over a quiescent simulator.
-      std::mutex mu;  // guards the shared fault-overlay RNG inside cluster
-      pool_->parallel_for(0, group.sensor_paths.size(), [&](std::size_t i) {
-        const std::string& path = group.sensor_paths[i];
-        double value;
-        {
-          std::lock_guard lock(mu);
-          value = cluster_.read_sensor(path);
-        }
-        readings[i] = Reading{path, {now, value}};
-      });
-    } else {
-      for (std::size_t i = 0; i < group.sensor_paths.size(); ++i) {
-        const std::string& path = group.sensor_paths[i];
-        readings[i] = Reading{path, {now, cluster_.read_sensor(path)}};
+    std::vector<IdReading> readings(group.sensor_ids.size());
+    read_group(group, now, readings);
+
+    // One batch insert per group: the store groups by shard and takes each
+    // shard lock once, instead of one map lookup + lock per sample.
+    if (store_ != nullptr) store_->insert_batch(readings);
+    if (bus_ != nullptr) {
+      for (std::size_t i = 0; i < readings.size(); ++i) {
+        bus_->publish(Reading{group.sensor_paths[i], readings[i].sample});
       }
     }
-
-    for (const auto& r : readings) {
-      if (store_ != nullptr) store_->insert(r);
-      if (bus_ != nullptr) bus_->publish(r);
-      // relaxed: monotonic statistics counter (see samples_collected()).
-      samples_collected_.fetch_add(1, std::memory_order_relaxed);
-    }
+    // relaxed: monotonic statistics counter (see samples_collected()).
+    samples_collected_.fetch_add(readings.size(), std::memory_order_relaxed);
     group.samples->inc(readings.size());
   }
 

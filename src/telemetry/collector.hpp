@@ -11,11 +11,13 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "sim/cluster.hpp"
 #include "telemetry/bus.hpp"
 #include "telemetry/sample.hpp"
+#include "telemetry/series_id.hpp"
 #include "telemetry/store.hpp"
 
 namespace oda::obs {
@@ -58,8 +60,12 @@ class Collector {
   struct Group {
     CollectorGroup def;
     std::vector<std::string> sensor_paths;
-    obs::Counter* samples = nullptr;  // owned by the global registry
+    std::vector<SeriesId> sensor_ids;  // interned once at add_group()
+    obs::Counter* samples = nullptr;   // owned by the global registry
   };
+
+  void read_group(const Group& group, TimePoint now,
+                  std::vector<IdReading>& readings);
 
   sim::ClusterSimulation& cluster_;
   TimeSeriesStore* store_;
@@ -68,6 +74,11 @@ class Collector {
   SensorCatalog catalog_;
   std::vector<Group> groups_;
   std::atomic<std::uint64_t> samples_collected_{0};
+  /// Root stream for the parallel read path's per-chunk fault-overlay Rngs.
+  /// Parallel passes draw overlay randomness from split children instead of
+  /// the simulation stream, so sensor reads run genuinely concurrently; the
+  /// serial path keeps using the cluster's own Rng.
+  Rng overlay_rng_;
 };
 
 }  // namespace oda::telemetry

@@ -10,7 +10,15 @@ void DerivedSensors::define(std::string path, std::vector<std::string> inputs,
                             Formula f) {
   ODA_REQUIRE(!path.empty(), "derived sensor needs a path");
   ODA_REQUIRE(f != nullptr, "derived sensor needs a formula");
-  derived_.push_back({std::move(path), std::move(inputs), std::move(f)});
+  // Intern the output and every input once, so evaluate() — which runs every
+  // sim step — carries integer handles instead of re-hashing path strings.
+  SeriesInterner& interner = SeriesInterner::global();
+  const SeriesId id = interner.intern(path);
+  std::vector<SeriesId> input_ids;
+  input_ids.reserve(inputs.size());
+  for (const auto& in : inputs) input_ids.push_back(interner.intern(in));
+  derived_.push_back({std::move(path), id, std::move(inputs),
+                      std::move(input_ids), std::move(f)});
 }
 
 void DerivedSensors::define_sum(const std::string& path,
@@ -43,9 +51,9 @@ void DerivedSensors::define_ratio(const std::string& path,
 void DerivedSensors::evaluate(TimePoint now) {
   for (const auto& d : derived_) {
     std::vector<double> inputs;
-    inputs.reserve(d.inputs.size());
+    inputs.reserve(d.input_ids.size());
     bool complete = true;
-    for (const auto& in : d.inputs) {
+    for (const SeriesId in : d.input_ids) {
       const auto latest = store_.latest(in);
       if (!latest) {
         complete = false;
@@ -55,7 +63,7 @@ void DerivedSensors::evaluate(TimePoint now) {
     }
     if (!complete) continue;
     const double value = d.formula(inputs);
-    if (std::isfinite(value)) store_.insert(d.path, {now, value});
+    if (std::isfinite(value)) store_.insert(d.id, {now, value});
   }
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "telemetry/sample.hpp"
+#include "telemetry/series_id.hpp"
 #include "telemetry/store.hpp"
 
 namespace oda::telemetry {
@@ -38,7 +39,9 @@ class DerivedSensors {
  private:
   struct Derived {
     std::string path;
-    std::vector<std::string> inputs;  // resolved sensor paths
+    SeriesId id;                       // interned output handle
+    std::vector<std::string> inputs;   // resolved sensor paths
+    std::vector<SeriesId> input_ids;   // interned once at define()
     Formula formula;
   };
 

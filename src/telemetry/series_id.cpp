@@ -1,0 +1,49 @@
+#include "telemetry/series_id.hpp"
+
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace oda::telemetry {
+
+SeriesInterner& SeriesInterner::global() {
+  static SeriesInterner interner;
+  return interner;
+}
+
+SeriesId SeriesInterner::intern(const std::string& path) {
+  {
+    std::shared_lock lock(mu_);
+    const auto it = ids_.find(path);
+    if (it != ids_.end()) return SeriesId{it->second};
+  }
+  std::unique_lock lock(mu_);
+  const auto it = ids_.find(path);  // racing interner may have won
+  if (it != ids_.end()) return SeriesId{it->second};
+  ODA_REQUIRE(paths_.size() < SeriesId::kInvalid, "series interner exhausted");
+  const auto id = static_cast<std::uint32_t>(paths_.size());
+  paths_.push_back(path);
+  ids_.emplace(path, id);
+  return SeriesId{id};
+}
+
+std::optional<SeriesId> SeriesInterner::lookup(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  const auto it = ids_.find(path);
+  if (it == ids_.end()) return std::nullopt;
+  return SeriesId{it->second};
+}
+
+const std::string& SeriesInterner::path(SeriesId id) const {
+  std::shared_lock lock(mu_);
+  ODA_REQUIRE(id.valid() && id.value < paths_.size(),
+              "unknown series id: " + std::to_string(id.value));
+  return paths_[id.value];
+}
+
+std::size_t SeriesInterner::size() const {
+  std::shared_lock lock(mu_);
+  return paths_.size();
+}
+
+}  // namespace oda::telemetry

@@ -1,18 +1,23 @@
 #include "telemetry/store.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <chrono>
 #include <limits>
 #include <mutex>
 
 #include "common/error.hpp"
-#include "common/stats.hpp"
 #include "common/string_util.hpp"
 #include "obs/metrics.hpp"
 
 namespace oda::telemetry {
 
 namespace {
+
+constexpr std::size_t kDefaultShards = 16;
+constexpr std::size_t kMaxShards = 4096;
+/// frame() fans out to the pool only when the column work is worth the
+/// submit overhead.
+constexpr std::size_t kParallelFrameColumns = 4;
 
 /// Process-wide store metrics (aggregate over every TimeSeriesStore — the
 /// per-instance total_inserted() accessor remains exact per store). The
@@ -24,6 +29,7 @@ struct StoreMetrics {
   obs::Counter& inserts;
   obs::Counter& queries;
   obs::Gauge& memory_bytes;
+  obs::Histogram& batch_size;
 
   static StoreMetrics& get() {
     static StoreMetrics m{
@@ -35,35 +41,72 @@ struct StoreMetrics {
         obs::MetricsRegistry::global().gauge(
             "oda_store_memory_bytes",
             "Approximate bytes retained across all stores"),
+        obs::MetricsRegistry::global().histogram(
+            "oda_store_batch_size", "Readings per insert_batch() call",
+            obs::exponential_bounds(1.0, 2.0, 17)),
     };
     return m;
   }
 };
 
+/// Number of samples with time < t, over the ring's two ascending spans
+/// (the logical lower bound the original single-buffer binary search found).
+std::size_t lower_index(std::span<const Sample> a, std::span<const Sample> b,
+                        TimePoint t) {
+  const auto less = [](const Sample& s, TimePoint tp) { return s.time < tp; };
+  if (!b.empty() && b.front().time < t) {
+    return a.size() +
+           static_cast<std::size_t>(
+               std::lower_bound(b.begin(), b.end(), t, less) - b.begin());
+  }
+  return static_cast<std::size_t>(
+      std::lower_bound(a.begin(), a.end(), t, less) - a.begin());
+}
+
+/// Restricts the two spans to the logical index range [lo, hi).
+std::pair<std::span<const Sample>, std::span<const Sample>> cut_range(
+    std::span<const Sample> a, std::span<const Sample> b, std::size_t lo,
+    std::size_t hi) {
+  const auto cut = [](std::span<const Sample> s, std::size_t l, std::size_t h) {
+    l = std::min(l, s.size());
+    h = std::min(h, s.size());
+    return s.subspan(l, h - l);
+  };
+  const std::size_t blo = lo > a.size() ? lo - a.size() : 0;
+  const std::size_t bhi = hi > a.size() ? hi - a.size() : 0;
+  return {cut(a, lo, hi), cut(b, blo, bhi)};
+}
+
 }  // namespace
 
-double aggregate(const std::vector<double>& values, Aggregation agg) {
-  if (values.empty()) return std::nan("");
+double AggAccumulator::result(Aggregation agg) const {
+  if (count == 0) return std::nan("");
   switch (agg) {
     case Aggregation::kMean:
-      return oda::mean(values);
+      return sum / static_cast<double>(count);
     case Aggregation::kMin:
-      return *std::min_element(values.begin(), values.end());
+      return min;
     case Aggregation::kMax:
-      return *std::max_element(values.begin(), values.end());
-    case Aggregation::kSum: {
-      double s = 0.0;
-      for (double v : values) s += v;
-      return s;
-    }
+      return max;
+    case Aggregation::kSum:
+      return sum;
     case Aggregation::kLast:
-      return values.back();
+      return last;
     case Aggregation::kCount:
-      return static_cast<double>(values.size());
+      return static_cast<double>(count);
     case Aggregation::kStdDev:
-      return oda::stddev(values);
+      // Sample stddev (n-1), 0 for a single sample — the original
+      // two-pass semantics, computed by Welford's update in add().
+      return count < 2 ? 0.0
+                       : std::sqrt(m2 / static_cast<double>(count - 1));
   }
   return std::nan("");
+}
+
+double aggregate(const std::vector<double>& values, Aggregation agg) {
+  AggAccumulator acc;
+  for (double v : values) acc.add(v);
+  return acc.result(agg);
 }
 
 std::vector<double> Frame::column(const std::string& name) const {
@@ -77,134 +120,293 @@ std::vector<double> Frame::column(const std::string& name) const {
   throw ContractError("frame column not found: " + name);
 }
 
-TimeSeriesStore::TimeSeriesStore(std::size_t capacity_per_sensor)
+TimeSeriesStore::TimeSeriesStore(std::size_t capacity_per_sensor,
+                                 std::size_t shards)
     : capacity_(capacity_per_sensor) {
   ODA_REQUIRE(capacity_per_sensor > 0, "store capacity must be positive");
+  ODA_REQUIRE(shards <= kMaxShards, "store shard count out of range");
+  std::size_t want = shards == 0 ? kDefaultShards : shards;
+  std::size_t n = 1;
+  while (n < want) n <<= 1;
+  shards_.reserve(n);
+  shard_lock_wait_.reserve(n);
+  shard_series_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    const obs::LabelSet labels = {{"shard", std::to_string(i)}};
+    shard_lock_wait_.push_back(&obs::MetricsRegistry::global().gauge(
+        "oda_store_shard_lock_wait_seconds",
+        "Cumulative time insert_batch() spent acquiring this shard's lock",
+        labels));
+    shard_series_.push_back(&obs::MetricsRegistry::global().gauge(
+        "oda_store_shard_series", "Series stored in this shard (occupancy)",
+        labels));
+  }
+  shard_mask_ = n - 1;
+}
+
+TimeSeriesStore::Series& TimeSeriesStore::series_locked(Shard& shard,
+                                                        SeriesId id) {
+  auto it = shard.series.find(id.value);
+  if (it == shard.series.end()) {
+    it = shard.series.emplace(id.value, std::make_unique<Series>(capacity_))
+             .first;
+    // Ring storage is preallocated: capacity slots plus map-node overhead.
+    StoreMetrics::get().memory_bytes.add(static_cast<double>(
+        capacity_ * sizeof(Sample) +
+        SeriesInterner::global().path(id).size() + 64));
+    shard_series_[id.value & shard_mask_]->add(1.0);
+  }
+  return *it->second;
+}
+
+void TimeSeriesStore::insert(SeriesId id, Sample sample) {
+  ODA_REQUIRE(id.valid(), "store insert with invalid series id");
+  {
+    Shard& shard = shard_of(id);
+    std::unique_lock lock(shard.mu);
+    series_locked(shard, id).samples.push(sample);
+  }
+  // relaxed: monotonic statistics counter (see total_inserted()).
+  total_inserted_.fetch_add(1, std::memory_order_relaxed);
+  StoreMetrics::get().inserts.inc();
 }
 
 void TimeSeriesStore::insert(const std::string& path, Sample sample) {
-  StoreMetrics& metrics = StoreMetrics::get();
-  {
-    std::unique_lock lock(mu_);
-    auto it = series_.find(path);
-    if (it == series_.end()) {
-      it = series_.emplace(path, std::make_unique<Series>(capacity_)).first;
-      // Ring storage is preallocated: capacity slots plus map-node overhead.
-      metrics.memory_bytes.add(
-          static_cast<double>(capacity_ * sizeof(Sample) + path.size() + 64));
-    }
-    it->second->samples.push(sample);
-    ++total_inserted_;
-  }
-  metrics.inserts.inc();
+  insert(SeriesInterner::global().intern(path), sample);
 }
 
 void TimeSeriesStore::insert(const Reading& reading) {
   insert(reading.path, reading.sample);
 }
 
+void TimeSeriesStore::insert_batch(std::span<const IdReading> readings) {
+  StoreMetrics& metrics = StoreMetrics::get();
+  metrics.batch_size.observe(static_cast<double>(readings.size()));
+  if (readings.empty()) return;
+  const std::size_t nshards = shards_.size();
+
+  // Stable counting sort of reading indices by shard: each shard lock is
+  // taken once per batch and per-series insertion order is preserved. The
+  // scratch buffers are thread_local so steady-state ingest does no heap
+  // allocation per batch.
+  thread_local std::vector<std::uint32_t> counts;
+  thread_local std::vector<std::uint32_t> order;
+  thread_local std::vector<std::uint32_t> next;
+  counts.assign(nshards + 1, 0);
+  for (const IdReading& r : readings) {
+    ODA_REQUIRE(r.id.valid(), "insert_batch with invalid series id");
+    ++counts[(r.id.value & shard_mask_) + 1];
+  }
+  for (std::size_t s = 1; s <= nshards; ++s) counts[s] += counts[s - 1];
+  order.resize(readings.size());
+  next.assign(counts.begin(), counts.end() - 1);
+  for (std::uint32_t i = 0; i < readings.size(); ++i) {
+    order[next[readings[i].id.value & shard_mask_]++] = i;
+  }
+
+  for (std::size_t s = 0; s < nshards; ++s) {
+    const std::uint32_t lo = counts[s];
+    const std::uint32_t hi = counts[s + 1];
+    if (lo == hi) continue;
+    Shard& shard = *shards_[s];
+    // Uncontended fast path: try_lock succeeds and we skip the two clock
+    // reads; the wait gauge only pays for timing when there is a real wait.
+    std::unique_lock lock(shard.mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      const auto wait_start = std::chrono::steady_clock::now();
+      lock.lock();
+      shard_lock_wait_[s]->add(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wait_start)
+              .count());
+    }
+    for (std::uint32_t k = lo; k < hi; ++k) {
+      const IdReading& r = readings[order[k]];
+      series_locked(shard, r.id).samples.push(r.sample);
+    }
+  }
+  // relaxed: monotonic statistics counter (see total_inserted()).
+  total_inserted_.fetch_add(readings.size(), std::memory_order_relaxed);
+  metrics.inserts.inc(readings.size());
+}
+
+void TimeSeriesStore::insert_batch(std::span<const Reading> readings) {
+  SeriesInterner& interner = SeriesInterner::global();
+  std::vector<IdReading> resolved(readings.size());
+  for (std::size_t i = 0; i < readings.size(); ++i) {
+    resolved[i] = {interner.intern(readings[i].path), readings[i].sample};
+  }
+  insert_batch(std::span<const IdReading>(resolved));
+}
+
+bool TimeSeriesStore::contains(SeriesId id) const {
+  if (!id.valid()) return false;
+  Shard& shard = shard_of(id);
+  std::shared_lock lock(shard.mu);
+  return shard.series.count(id.value) != 0;
+}
+
 bool TimeSeriesStore::contains(const std::string& path) const {
-  std::shared_lock lock(mu_);
-  return series_.count(path) != 0;
+  const auto id = SeriesInterner::global().lookup(path);
+  return id.has_value() && contains(*id);
 }
 
 std::vector<std::string> TimeSeriesStore::paths() const {
-  std::shared_lock lock(mu_);
+  SeriesInterner& interner = SeriesInterner::global();
   std::vector<std::string> out;
-  out.reserve(series_.size());
-  for (const auto& [p, s] : series_) out.push_back(p);
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (const auto& [id, s] : shard->series) {
+      out.push_back(interner.path(SeriesId{id}));
+    }
+  }
+  // Sorted output preserves the original string-keyed map's iteration order.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<std::string> TimeSeriesStore::match(const std::string& pattern) const {
-  std::shared_lock lock(mu_);
-  std::vector<std::string> out;
-  for (const auto& [p, s] : series_) {
-    if (glob_match(pattern, p)) out.push_back(p);
-  }
+  std::vector<std::string> out = paths();
+  out.erase(std::remove_if(
+                out.begin(), out.end(),
+                [&](const std::string& p) { return !glob_match(pattern, p); }),
+            out.end());
   return out;
 }
 
+std::size_t TimeSeriesStore::sample_count(SeriesId id) const {
+  if (!id.valid()) return 0;
+  Shard& shard = shard_of(id);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.series.find(id.value);
+  return it == shard.series.end() ? 0 : it->second->samples.size();
+}
+
 std::size_t TimeSeriesStore::sample_count(const std::string& path) const {
-  std::shared_lock lock(mu_);
-  const Series* s = find_series(path);
-  return s ? s->samples.size() : 0;
+  const auto id = SeriesInterner::global().lookup(path);
+  return id ? sample_count(*id) : 0;
 }
 
-std::uint64_t TimeSeriesStore::total_inserted() const {
-  std::shared_lock lock(mu_);
-  return total_inserted_;
-}
-
-const TimeSeriesStore::Series* TimeSeriesStore::find_series(
-    const std::string& path) const {
-  const auto it = series_.find(path);
-  return it == series_.end() ? nullptr : it->second.get();
+std::optional<Sample> TimeSeriesStore::latest(SeriesId id) const {
+  if (!id.valid()) return std::nullopt;
+  Shard& shard = shard_of(id);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.series.find(id.value);
+  if (it == shard.series.end() || it->second->samples.empty()) {
+    return std::nullopt;
+  }
+  return it->second->samples.back();
 }
 
 std::optional<Sample> TimeSeriesStore::latest(const std::string& path) const {
-  std::shared_lock lock(mu_);
-  const Series* s = find_series(path);
-  if (!s || s->samples.empty()) return std::nullopt;
-  return s->samples.back();
+  const auto id = SeriesInterner::global().lookup(path);
+  return id ? latest(*id) : std::nullopt;
+}
+
+SeriesSlice TimeSeriesStore::query(SeriesId id, TimePoint from,
+                                   TimePoint to) const {
+  StoreMetrics::get().queries.inc();
+  SeriesSlice out;
+  if (!id.valid()) return out;
+  Shard& shard = shard_of(id);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.series.find(id.value);
+  if (it == shard.series.end()) return out;
+  // Samples are time-ordered (monotone inserts); binary-search the range
+  // over the ring's two contiguous spans and bulk-copy it.
+  const auto [a, b] = it->second->samples.spans();
+  const std::size_t lo = lower_index(a, b, from);
+  const std::size_t hi = lower_index(a, b, to);
+  if (lo >= hi) return out;
+  const auto [ra, rb] = cut_range(a, b, lo, hi);
+  out.times.resize(hi - lo);
+  out.values.resize(hi - lo);
+  std::size_t w = 0;
+  for (const Sample& s : ra) {
+    out.times[w] = s.time;
+    out.values[w] = s.value;
+    ++w;
+  }
+  for (const Sample& s : rb) {
+    out.times[w] = s.time;
+    out.values[w] = s.value;
+    ++w;
+  }
+  return out;
 }
 
 SeriesSlice TimeSeriesStore::query(const std::string& path, TimePoint from,
                                    TimePoint to) const {
-  StoreMetrics::get().queries.inc();
-  std::shared_lock lock(mu_);
-  SeriesSlice out;
-  const Series* s = find_series(path);
-  if (!s) return out;
-  // Samples are time-ordered (monotone inserts); binary-search the start.
-  const auto& buf = s->samples;
-  std::size_t lo = 0, hi = buf.size();
-  while (lo < hi) {
-    const std::size_t mid = (lo + hi) / 2;
-    if (buf[mid].time < from) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  for (std::size_t i = lo; i < buf.size() && buf[i].time < to; ++i) {
-    out.times.push_back(buf[i].time);
-    out.values.push_back(buf[i].value);
-  }
-  return out;
+  const auto id = SeriesInterner::global().lookup(path);
+  return query(id.value_or(SeriesId{}), from, to);
 }
 
 SeriesSlice TimeSeriesStore::query_all(const std::string& path) const {
   return query(path, kTimeMin, kTimeMax);
 }
 
+SeriesSlice TimeSeriesStore::query_aggregated(SeriesId id, TimePoint from,
+                                              TimePoint to, Duration bucket,
+                                              Aggregation agg) const {
+  ODA_REQUIRE(bucket > 0, "aggregation bucket must be positive");
+  StoreMetrics::get().queries.inc();
+  SeriesSlice out;
+  if (!id.valid()) return out;
+  Shard& shard = shard_of(id);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.series.find(id.value);
+  if (it == shard.series.end()) return out;
+  const auto [a, b] = it->second->samples.spans();
+  const std::size_t lo = lower_index(a, b, from);
+  const std::size_t hi = lower_index(a, b, to);
+  if (lo >= hi) return out;
+  const auto [ra, rb] = cut_range(a, b, lo, hi);
+
+  // Single streaming pass: bucket boundaries advance with the walk and each
+  // bucket folds into an AggAccumulator — no per-bucket value vector.
+  const TimePoint first = ra.empty() ? rb.front().time : ra.front().time;
+  TimePoint bucket_start = from + ((first - from) / bucket) * bucket;
+  AggAccumulator acc;
+  const auto flush = [&] {
+    if (acc.count != 0) {
+      out.times.push_back(bucket_start);
+      out.values.push_back(acc.result(agg));
+      acc.reset();
+    }
+  };
+  const auto feed = [&](std::span<const Sample> seg) {
+    for (const Sample& s : seg) {
+      while (s.time >= bucket_start + bucket) {
+        flush();
+        bucket_start += bucket;
+      }
+      acc.add(s.value);
+    }
+  };
+  feed(ra);
+  feed(rb);
+  flush();
+  return out;
+}
+
 SeriesSlice TimeSeriesStore::query_aggregated(const std::string& path,
                                               TimePoint from, TimePoint to,
                                               Duration bucket,
                                               Aggregation agg) const {
-  ODA_REQUIRE(bucket > 0, "aggregation bucket must be positive");
-  const SeriesSlice raw = query(path, from, to);
-  SeriesSlice out;
-  if (raw.empty()) return out;
+  const auto id = SeriesInterner::global().lookup(path);
+  return query_aggregated(id.value_or(SeriesId{}), from, to, bucket, agg);
+}
 
-  std::vector<double> current;
-  TimePoint bucket_start = from + ((raw.times.front() - from) / bucket) * bucket;
-  const auto flush = [&] {
-    if (!current.empty()) {
-      out.times.push_back(bucket_start);
-      out.values.push_back(aggregate(current, agg));
-      current.clear();
-    }
-  };
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    while (raw.times[i] >= bucket_start + bucket) {
-      flush();
-      bucket_start += bucket;
-    }
-    current.push_back(raw.values[i]);
+void TimeSeriesStore::fill_column(Frame& f, std::size_t col, SeriesId id,
+                                  TimePoint from, TimePoint to, Duration bucket,
+                                  Aggregation agg) const {
+  const SeriesSlice slice = query_aggregated(id, from, to, bucket, agg);
+  const std::size_t n_buckets = f.times.size();
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    const auto b = static_cast<std::size_t>((slice.times[i] - from) / bucket);
+    if (b < n_buckets) f.values[b][col] = slice.values[i];
   }
-  flush();
-  return out;
 }
 
 Frame TimeSeriesStore::frame(const std::vector<std::string>& sensor_paths,
@@ -213,21 +415,29 @@ Frame TimeSeriesStore::frame(const std::vector<std::string>& sensor_paths,
   ODA_REQUIRE(bucket > 0, "frame bucket must be positive");
   Frame f;
   f.columns = sensor_paths;
-  const std::size_t n_buckets =
-      static_cast<std::size_t>(std::max<TimePoint>(0, (to - from + bucket - 1) / bucket));
+  const std::size_t n_buckets = static_cast<std::size_t>(
+      std::max<TimePoint>(0, (to - from + bucket - 1) / bucket));
   f.times.resize(n_buckets);
-  for (std::size_t b = 0; b < n_buckets; ++b) {
-    f.times[b] = from + static_cast<Duration>(b) * bucket;
+  for (std::size_t bkt = 0; bkt < n_buckets; ++bkt) {
+    f.times[bkt] = from + static_cast<Duration>(bkt) * bucket;
   }
-  f.values.assign(n_buckets, std::vector<double>(sensor_paths.size(),
-                                                 std::nan("")));
+  f.values.assign(n_buckets,
+                  std::vector<double>(sensor_paths.size(), std::nan("")));
+
+  SeriesInterner& interner = SeriesInterner::global();
+  std::vector<SeriesId> ids(sensor_paths.size());
   for (std::size_t c = 0; c < sensor_paths.size(); ++c) {
-    const SeriesSlice agg_slice =
-        query_aggregated(sensor_paths[c], from, to, bucket, agg);
-    for (std::size_t i = 0; i < agg_slice.size(); ++i) {
-      const auto b =
-          static_cast<std::size_t>((agg_slice.times[i] - from) / bucket);
-      if (b < n_buckets) f.values[b][c] = agg_slice.values[i];
+    ids[c] = interner.lookup(sensor_paths[c]).value_or(SeriesId{});
+  }
+  // Columns are independent (each touches only its own f.values[..][c]
+  // cells), so fan them out when a pool is wired in.
+  if (pool_ != nullptr && sensor_paths.size() >= kParallelFrameColumns) {
+    pool_->parallel_for(0, sensor_paths.size(), [&](std::size_t c) {
+      fill_column(f, c, ids[c], from, to, bucket, agg);
+    });
+  } else {
+    for (std::size_t c = 0; c < sensor_paths.size(); ++c) {
+      fill_column(f, c, ids[c], from, to, bucket, agg);
     }
   }
   return f;

@@ -1,18 +1,42 @@
 // In-memory time-series store: bounded per-sensor ring storage with
 // time-range queries, bucketed downsampling, and aligned multi-sensor frames
-// (the tabular input the ML-flavoured analytics consume). Thread-safe via a
-// reader/writer lock per store.
+// (the tabular input the ML-flavoured analytics consume).
+//
+// Built for ingest/query throughput (docs/STORE.md):
+//  * series are keyed by interned SeriesId handles (series_id.hpp) and
+//    spread over N lock-striped shards, so writers on different sensors do
+//    not contend and no hot path re-hashes path strings;
+//  * insert_batch() groups a whole collector pass by shard and takes each
+//    shard lock once, replacing per-sample lock acquisitions;
+//  * queries walk the ring's contiguous spans and aggregate in one
+//    streaming pass (Welford for stddev) without materializing per-bucket
+//    value vectors;
+//  * frame() fans independent columns out over an optional ThreadPool.
+// The string-keyed API is retained as a thin wrapper over the id API, with
+// query semantics identical to the original single-map store.
 #pragma once
 
-#include <map>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ring_buffer.hpp"
+#include "common/thread_pool.hpp"
 #include "telemetry/sample.hpp"
+#include "telemetry/series_id.hpp"
+
+namespace oda::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace oda::obs
 
 namespace oda::telemetry {
 
@@ -38,23 +62,85 @@ struct Frame {
   std::vector<double> column(const std::string& name) const;
 };
 
+/// Streaming aggregation state: one pass over the values yields every
+/// Aggregation result. Shared by the store's bucket walk and the aggregate()
+/// helper so both produce bit-identical numbers. Min/max update with the
+/// exact std::min_element/std::max_element comparison order so NaN handling
+/// matches a materialized std::vector pass.
+struct AggAccumulator {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;
+  double mean = 0.0;  // Welford running mean
+  double m2 = 0.0;    // Welford sum of squared deviations
+
+  void add(double v) {
+    if (count == 0) {
+      min = v;
+      max = v;
+    } else {
+      if (v < min) min = v;
+      if (max < v) max = v;
+    }
+    sum += v;
+    last = v;
+    ++count;
+    const double delta = v - mean;
+    mean += delta / static_cast<double>(count);
+    m2 += delta * (v - mean);
+  }
+
+  void reset() { *this = AggAccumulator{}; }
+
+  /// The aggregate over everything add()ed so far; NaN when empty.
+  double result(Aggregation agg) const;
+};
+
 class TimeSeriesStore {
  public:
-  /// capacity_per_sensor bounds retained samples per path.
-  explicit TimeSeriesStore(std::size_t capacity_per_sensor = 1 << 16);
+  /// capacity_per_sensor bounds retained samples per path; `shards` is
+  /// rounded up to a power of two (0 selects the default of 16).
+  explicit TimeSeriesStore(std::size_t capacity_per_sensor = 1 << 16,
+                           std::size_t shards = 0);
 
+  // -- ingest -----------------------------------------------------------------
   void insert(const std::string& path, Sample sample);
   void insert(const Reading& reading);
+  /// Id-handle fast path; `id` must come from SeriesInterner::global().
+  void insert(SeriesId id, Sample sample);
+  /// Batch ingest: groups readings by shard (stable, so per-series order is
+  /// preserved) and takes each shard lock once per batch.
+  void insert_batch(std::span<const IdReading> readings);
+  /// String-keyed convenience wrapper: interns, then batch-inserts.
+  void insert_batch(std::span<const Reading> readings);
 
+  /// Optional pool used by frame() to assemble columns in parallel. The pool
+  /// must outlive the store (or be reset to nullptr first).
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
+  // -- catalog ----------------------------------------------------------------
   bool contains(const std::string& path) const;
+  bool contains(SeriesId id) const;
+  /// All stored paths, sorted (the original std::map iteration order).
   std::vector<std::string> paths() const;
   std::vector<std::string> match(const std::string& pattern) const;
   std::size_t sample_count(const std::string& path) const;
-  std::uint64_t total_inserted() const;
+  std::size_t sample_count(SeriesId id) const;
+  std::uint64_t total_inserted() const {
+    // relaxed: monotonic statistics counter; synchronizes nothing (matches
+    // Collector::samples_collected_).
+    return total_inserted_.load(std::memory_order_relaxed);
+  }
+  std::size_t shard_count() const { return shards_.size(); }
 
+  // -- queries ----------------------------------------------------------------
   std::optional<Sample> latest(const std::string& path) const;
+  std::optional<Sample> latest(SeriesId id) const;
   /// Samples with time in [from, to).
   SeriesSlice query(const std::string& path, TimePoint from, TimePoint to) const;
+  SeriesSlice query(SeriesId id, TimePoint from, TimePoint to) const;
   /// All retained samples.
   SeriesSlice query_all(const std::string& path) const;
 
@@ -62,8 +148,12 @@ class TimeSeriesStore {
   SeriesSlice query_aggregated(const std::string& path, TimePoint from,
                                TimePoint to, Duration bucket,
                                Aggregation agg) const;
+  SeriesSlice query_aggregated(SeriesId id, TimePoint from, TimePoint to,
+                               Duration bucket, Aggregation agg) const;
 
-  /// Aligned frame over several sensors with a shared bucket grid.
+  /// Aligned frame over several sensors with a shared bucket grid. Columns
+  /// are independent and are computed on the pool set via set_pool(), when
+  /// there is one.
   Frame frame(const std::vector<std::string>& sensor_paths, TimePoint from,
               TimePoint to, Duration bucket,
               Aggregation agg = Aggregation::kMean) const;
@@ -74,15 +164,34 @@ class TimeSeriesStore {
     explicit Series(std::size_t cap) : samples(cap) {}
   };
 
-  const Series* find_series(const std::string& path) const;
+  /// One lock stripe: its own reader/writer lock and id-keyed series map.
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<std::uint32_t, std::unique_ptr<Series>> series;
+  };
+
+  Shard& shard_of(SeriesId id) const {
+    return *shards_[id.value & shard_mask_];
+  }
+  /// Creates the series for `id` if absent; caller holds the shard lock.
+  Series& series_locked(Shard& shard, SeriesId id);
+  void fill_column(Frame& f, std::size_t col, SeriesId id, TimePoint from,
+                   TimePoint to, Duration bucket, Aggregation agg) const;
 
   std::size_t capacity_;
-  mutable std::shared_mutex mu_;
-  std::map<std::string, std::unique_ptr<Series>> series_;
-  std::uint64_t total_inserted_ = 0;
+  std::size_t shard_mask_ = 0;  // shards_.size() - 1 (power of two)
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> total_inserted_{0};
+  ThreadPool* pool_ = nullptr;
+  // Per-shard instruments, owned by the global registry and shared across
+  // stores with the same shard index (aggregate semantics, like the
+  // process-wide insert/query counters).
+  std::vector<obs::Gauge*> shard_lock_wait_;
+  std::vector<obs::Gauge*> shard_series_;
 };
 
-/// Aggregates a value list (helper shared with dashboards).
+/// Aggregates a value list (helper shared with dashboards). Implemented on
+/// AggAccumulator, so it matches query_aggregated() bit-for-bit.
 double aggregate(const std::vector<double>& values, Aggregation agg);
 
 }  // namespace oda::telemetry
