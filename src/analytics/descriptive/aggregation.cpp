@@ -5,13 +5,20 @@
 
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
+#include "telemetry/health.hpp"
 
 namespace oda::analytics {
 
 std::vector<QuantileSummary> quantile_transport(
     const telemetry::TimeSeriesStore& store, const std::string& sensor_pattern,
-    TimePoint from, TimePoint to, std::size_t group_depth) {
-  std::map<std::string, std::pair<std::size_t, std::vector<double>>> groups;
+    TimePoint from, TimePoint to, std::size_t group_depth,
+    const telemetry::SensorHealthTracker* health) {
+  struct GroupPool {
+    std::size_t count = 0;
+    std::size_t skipped = 0;
+    std::vector<double> pooled;
+  };
+  std::map<std::string, GroupPool> groups;
   for (const auto& path : store.match(sensor_pattern)) {
     const auto parts = split(path, '/');
     std::string group;
@@ -19,19 +26,29 @@ std::vector<QuantileSummary> quantile_transport(
       if (i) group += '/';
       group += parts[i];
     }
+    GroupPool& pool = groups[group];
+    if (health != nullptr && !health->usable(path)) {
+      ++pool.skipped;
+      continue;
+    }
     const auto slice = store.query(path, from, to);
-    auto& [count, pooled] = groups[group];
-    ++count;
-    pooled.insert(pooled.end(), slice.values.begin(), slice.values.end());
+    ++pool.count;
+    pool.pooled.insert(pool.pooled.end(), slice.values.begin(),
+                       slice.values.end());
   }
 
   std::vector<QuantileSummary> out;
   for (auto& [group, entry] : groups) {
-    auto& [count, pooled] = entry;
+    auto& [count, skipped, pooled] = entry;
     QuantileSummary s;
     s.group = group;
     s.sensors = count;
     s.samples = pooled.size();
+    s.skipped = skipped;
+    s.coverage = count + skipped > 0
+                     ? static_cast<double>(count) /
+                           static_cast<double>(count + skipped)
+                     : 1.0;
     if (!pooled.empty()) {
       std::sort(pooled.begin(), pooled.end());
       const auto q = [&](double p) {
@@ -72,9 +89,11 @@ std::vector<double> remove_outliers_iqr(const std::vector<double>& values,
 
 std::vector<SensorSnapshot> snapshot_sensors(
     const telemetry::TimeSeriesStore& store, const std::string& pattern,
-    TimePoint from, TimePoint to) {
+    TimePoint from, TimePoint to,
+    const telemetry::SensorHealthTracker* health) {
   std::vector<SensorSnapshot> out;
   for (const auto& path : store.match(pattern)) {
+    if (health != nullptr && !health->usable(path)) continue;
     const auto slice = store.query(path, from, to);
     if (slice.empty()) continue;
     SensorSnapshot s;

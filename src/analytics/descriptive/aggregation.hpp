@@ -11,6 +11,10 @@
 #include "common/types.hpp"
 #include "telemetry/store.hpp"
 
+namespace oda::telemetry {
+class SensorHealthTracker;
+}  // namespace oda::telemetry
+
 namespace oda::analytics {
 
 /// Quantile summary of one sensor group over an interval.
@@ -20,13 +24,22 @@ struct QuantileSummary {
   std::size_t samples = 0;
   double q10 = 0.0, q25 = 0.0, q50 = 0.0, q75 = 0.0, q90 = 0.0;
   double min = 0.0, max = 0.0, mean = 0.0;
+  /// Quality overlay (docs/RESILIENCE.md): sensors skipped because the
+  /// health tracker quarantined them, and the usable fraction. Without a
+  /// tracker: skipped == 0 and coverage == 1 (results unchanged).
+  std::size_t skipped = 0;
+  double coverage = 1.0;
 };
 
 /// Groups sensors by a path prefix of `depth` components ("rack00/node01/x"
 /// at depth 1 groups by rack) and summarizes each group's pooled samples.
+/// When `health` is given, quarantined series are excluded from the pooled
+/// statistics and reported through skipped/coverage instead of silently
+/// poisoning the quantiles; a null tracker is a strict no-op overlay.
 std::vector<QuantileSummary> quantile_transport(
     const telemetry::TimeSeriesStore& store, const std::string& sensor_pattern,
-    TimePoint from, TimePoint to, std::size_t group_depth);
+    TimePoint from, TimePoint to, std::size_t group_depth,
+    const telemetry::SensorHealthTracker* health = nullptr);
 
 /// Removes IQR outliers: values outside [q1 - k*IQR, q3 + k*IQR].
 std::vector<double> remove_outliers_iqr(const std::vector<double>& values,
@@ -41,8 +54,11 @@ struct SensorSnapshot {
   double p95 = 0.0;
   double zscore = 0.0;  // latest vs interval distribution
 };
+/// Quarantined sensors are omitted when `health` is given (strict overlay:
+/// null tracker == previous behaviour).
 std::vector<SensorSnapshot> snapshot_sensors(
     const telemetry::TimeSeriesStore& store, const std::string& pattern,
-    TimePoint from, TimePoint to);
+    TimePoint from, TimePoint to,
+    const telemetry::SensorHealthTracker* health = nullptr);
 
 }  // namespace oda::analytics

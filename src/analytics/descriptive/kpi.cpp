@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "math/entropy.hpp"
+#include "telemetry/health.hpp"
 
 #include "obs/cell.hpp"
 
@@ -32,13 +33,21 @@ double integrate_kwh(const telemetry::TimeSeriesStore& store,
 }  // namespace
 
 PueReport compute_pue(const telemetry::TimeSeriesStore& store, TimePoint from,
-                      TimePoint to) {
+                      TimePoint to,
+                      const telemetry::SensorHealthTracker* health) {
   ::oda::obs::CellScope oda_cell_scope("building-infrastructure", "descriptive", "kpi.pue");
   PueReport report;
-  report.facility_energy_kwh = integrate_kwh(store, "facility/total_power", from, to);
-  report.it_energy_kwh = integrate_kwh(store, "cluster/it_power", from, to);
-  report.cooling_energy_kwh = integrate_kwh(store, "facility/cooling_power", from, to);
-  report.loss_energy_kwh = integrate_kwh(store, "facility/pdu_loss", from, to);
+  std::size_t usable = 0;
+  const auto usable_kwh = [&](const std::string& path) {
+    if (health != nullptr && !health->usable(path)) return 0.0;
+    ++usable;
+    return integrate_kwh(store, path, from, to);
+  };
+  report.facility_energy_kwh = usable_kwh("facility/total_power");
+  report.it_energy_kwh = usable_kwh("cluster/it_power");
+  report.cooling_energy_kwh = usable_kwh("facility/cooling_power");
+  report.loss_energy_kwh = usable_kwh("facility/pdu_loss");
+  report.coverage = static_cast<double>(usable) / 4.0;
   report.pue = report.it_energy_kwh > 0.0
                    ? report.facility_energy_kwh / report.it_energy_kwh
                    : 0.0;
@@ -109,17 +118,33 @@ SlowdownReport compute_slowdown(std::span<const sim::JobRecord> records,
 }
 
 double compute_utilization(const telemetry::TimeSeriesStore& store,
-                           TimePoint from, TimePoint to) {
+                           TimePoint from, TimePoint to,
+                           const telemetry::SensorHealthTracker* health) {
+  if (health != nullptr && !health->usable("scheduler/utilization")) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   const auto slice = store.query("scheduler/utilization", from, to);
   return slice.empty() ? 0.0 : mean(slice.values);
 }
 
 SieReport compute_sie(const telemetry::TimeSeriesStore& store,
                       const std::vector<std::string>& sensors, TimePoint from,
-                      TimePoint to, Duration bucket, std::size_t levels) {
+                      TimePoint to, Duration bucket, std::size_t levels,
+                      const telemetry::SensorHealthTracker* health) {
   ODA_REQUIRE(levels >= 2, "SIE needs at least two levels");
   SieReport report;
-  const auto frame = store.frame(sensors, from, to, bucket);
+  std::vector<std::string> used;
+  used.reserve(sensors.size());
+  for (const auto& path : sensors) {
+    if (health != nullptr && !health->usable(path)) continue;
+    used.push_back(path);
+  }
+  report.sensors_used = used.size();
+  report.coverage = sensors.empty() ? 1.0
+                                    : static_cast<double>(used.size()) /
+                                          static_cast<double>(sensors.size());
+  if (used.empty()) return report;
+  const auto frame = store.frame(used, from, to, bucket);
   if (frame.rows() < 2) return report;
 
   // Per-column min/max for level quantization.

@@ -19,6 +19,10 @@
 #include "sim/scheduler.hpp"
 #include "telemetry/store.hpp"
 
+namespace oda::telemetry {
+class SensorHealthTracker;
+}  // namespace oda::telemetry
+
 namespace oda::analytics {
 
 /// Interval KPI computed by integrating power sensors over [from, to).
@@ -28,13 +32,20 @@ struct PueReport {
   double it_energy_kwh = 0.0;
   double cooling_energy_kwh = 0.0;
   double loss_energy_kwh = 0.0;   // PDU/UPS conversion losses
+  /// Fraction of the input sensors the health tracker deemed usable (1.0
+  /// without a tracker). A pue of 0 with coverage < 1 means "inputs
+  /// quarantined", not "free cooling".
+  double coverage = 1.0;
 };
 
 /// PUE over an interval from the standard facility sensors
 /// ("facility/total_power", "cluster/it_power", "facility/cooling_power",
-/// "facility/pdu_loss").
+/// "facility/pdu_loss"). When `health` is given, quarantined inputs are
+/// skipped (their energy term becomes 0) and reported through `coverage`
+/// instead of silently averaging poisoned data.
 PueReport compute_pue(const telemetry::TimeSeriesStore& store, TimePoint from,
-                      TimePoint to);
+                      TimePoint to,
+                      const telemetry::SensorHealthTracker* health = nullptr);
 
 /// ITUE = total IT energy / "useful" IT energy (total minus node fans and
 /// estimated PSU overhead). fan_power_per_node_w(speed) converts the
@@ -66,8 +77,11 @@ SlowdownReport compute_slowdown(std::span<const sim::JobRecord> records,
                                 Duration tau = 10 * kMinute);
 
 /// Node utilization over an interval: mean of "scheduler/utilization".
+/// With a health tracker, a quarantined utilization sensor yields NaN
+/// (no trustworthy data) rather than a misleading mean.
 double compute_utilization(const telemetry::TimeSeriesStore& store,
-                           TimePoint from, TimePoint to);
+                           TimePoint from, TimePoint to,
+                           const telemetry::SensorHealthTracker* health = nullptr);
 
 /// System Information Entropy: discretizes a set of sensors into state
 /// symbols per time bucket and measures transition entropy [14]. Low entropy
@@ -76,10 +90,17 @@ struct SieReport {
   double entropy_bits = 0.0;
   std::size_t distinct_states = 0;
   std::size_t transitions = 0;
+  /// Sensors actually used / usable fraction (quality overlay; see
+  /// PueReport::coverage).
+  std::size_t sensors_used = 0;
+  double coverage = 1.0;
 };
+/// Quarantined sensors are dropped from the state symbol when `health` is
+/// given (strict overlay: null tracker == previous behaviour).
 SieReport compute_sie(const telemetry::TimeSeriesStore& store,
                       const std::vector<std::string>& sensors, TimePoint from,
-                      TimePoint to, Duration bucket, std::size_t levels = 4);
+                      TimePoint to, Duration bucket, std::size_t levels = 4,
+                      const telemetry::SensorHealthTracker* health = nullptr);
 
 /// Roofline operating point [63]: where a measured kernel sits against a
 /// machine's compute and bandwidth ceilings.

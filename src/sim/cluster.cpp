@@ -267,6 +267,23 @@ double ClusterSimulation::read_sensor(const std::string& path, Rng& rng) const {
   return faults_.apply_sensor_faults(path, raw, now_, rng);
 }
 
+SensorReadResult ClusterSimulation::try_read_sensor(const std::string& path) {
+  return try_read_sensor(path, rng_);
+}
+
+SensorReadResult ClusterSimulation::try_read_sensor(const std::string& path,
+                                                    Rng& rng) const {
+  SensorReadResult result;
+  const ReadFault fault = faults_.read_fault_at(path, now_, rng);
+  result.latency_s = fault.stall_seconds;
+  if (fault.dropout) {
+    result.ok = false;
+    return result;
+  }
+  result.value = read_sensor(path, rng);
+  return result;
+}
+
 std::vector<std::pair<std::string, double>> ClusterSimulation::sample_all() {
   std::vector<std::pair<std::string, double>> out;
   out.reserve(sensors_.size());

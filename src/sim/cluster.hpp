@@ -28,6 +28,13 @@
 
 namespace oda::sim {
 
+/// Outcome of one failure-aware sensor read attempt (try_read_sensor).
+struct SensorReadResult {
+  bool ok = true;          // false => dropout: no value was produced
+  double value = 0.0;      // fault-overlaid reading; valid only when ok
+  double latency_s = 0.0;  // simulated latency this attempt cost (stalls)
+};
+
 struct ClusterParams {
   std::size_t racks = 4;
   std::size_t nodes_per_rack = 16;
@@ -70,6 +77,12 @@ class ClusterSimulation {
   /// threads at once over a quiescent simulator (between step()s) — the
   /// collector's parallel read path uses one split Rng per chunk.
   double read_sensor(const std::string& path, Rng& rng) const;
+  /// Failure-aware read: rolls the injector's read faults (dropout/stall)
+  /// before producing a value. With no read fault active on `path` this is
+  /// exactly read_sensor() — same value, same random stream, zero latency —
+  /// so fault-free pipelines behave bit-identically to the plain read.
+  SensorReadResult try_read_sensor(const std::string& path);
+  SensorReadResult try_read_sensor(const std::string& path, Rng& rng) const;
   bool has_sensor(const std::string& path) const;
   /// Samples every sensor (fault overlay applied).
   std::vector<std::pair<std::string, double>> sample_all();

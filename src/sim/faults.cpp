@@ -12,6 +12,8 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kSensorDrift: return "sensor-drift";
     case FaultKind::kSensorSpike: return "sensor-spike";
     case FaultKind::kSensorNoise: return "sensor-noise";
+    case FaultKind::kSensorDropout: return "sensor-dropout";
+    case FaultKind::kSensorStall: return "sensor-stall";
     case FaultKind::kFanFailure: return "fan-failure";
     case FaultKind::kThermalDegradation: return "thermal-degradation";
     case FaultKind::kPumpDegradation: return "pump-degradation";
@@ -27,10 +29,16 @@ bool is_sensor_fault(FaultKind k) {
     case FaultKind::kSensorDrift:
     case FaultKind::kSensorSpike:
     case FaultKind::kSensorNoise:
+    case FaultKind::kSensorDropout:
+    case FaultKind::kSensorStall:
       return true;
     default:
       return false;
   }
+}
+
+bool is_read_fault(FaultKind k) {
+  return k == FaultKind::kSensorDropout || k == FaultKind::kSensorStall;
 }
 
 FaultInjector::FaultInjector(FaultInjector&& other) noexcept
@@ -80,7 +88,9 @@ double FaultInjector::apply_sensor_faults(const std::string& path, double raw,
   double value = raw;
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const FaultEvent& e = events_[i];
-    if (!is_sensor_fault(e.kind) || e.target != path) continue;
+    if (!is_sensor_fault(e.kind) || is_read_fault(e.kind) || e.target != path) {
+      continue;
+    }
     if (!e.active_at(now)) {
       if (e.kind == FaultKind::kSensorStuck) {
         std::lock_guard lock(stuck_mu_);
@@ -116,6 +126,29 @@ double FaultInjector::apply_sensor_faults(const std::string& path, double raw,
     }
   }
   return value;
+}
+
+ReadFault FaultInjector::read_fault_at(const std::string& path, TimePoint now,
+                                       Rng& rng) const {
+  ReadFault out;
+  for (const auto& e : events_) {
+    if (!is_read_fault(e.kind) || e.target != path || !e.active_at(now)) {
+      continue;
+    }
+    switch (e.kind) {
+      case FaultKind::kSensorDropout: {
+        const double p = std::min(1.0, std::max(0.0, e.magnitude));
+        if (rng.bernoulli(p)) out.dropout = true;
+        break;
+      }
+      case FaultKind::kSensorStall:
+        out.stall_seconds += e.magnitude * rng.uniform(0.8, 1.2);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
 }
 
 std::vector<FaultEvent> FaultInjector::active_at(TimePoint t) const {

@@ -23,6 +23,12 @@ enum class FaultKind {
   kSensorDrift,       // reading drifts linearly (magnitude = units/hour)
   kSensorSpike,       // intermittent large spikes (magnitude = spike size)
   kSensorNoise,       // extra gaussian noise (magnitude = stddev)
+  // Sensor-level read faults (the *read itself* fails or stalls; the value,
+  // when one is produced, is unaffected).
+  kSensorDropout,     // read yields no value (magnitude = per-read failure
+                      // probability, clamped to [0,1])
+  kSensorStall,       // read costs simulated latency (magnitude = seconds,
+                      // jittered ±20%); consumers enforce their own deadline
   // Component-level (physical behaviour changes).
   kFanFailure,        // target = node path
   kThermalDegradation,  // target = node path; magnitude = R_th multiplier
@@ -32,8 +38,17 @@ enum class FaultKind {
 };
 
 const char* fault_kind_name(FaultKind k);
-/// True for the kinds applied as sensor-reading overlays.
+/// True for the kinds applied as sensor-reading overlays or read faults.
 bool is_sensor_fault(FaultKind k);
+/// True for the kinds that affect the read outcome (dropout/stall) rather
+/// than the value.
+bool is_read_fault(FaultKind k);
+
+/// Outcome modifiers for one sensor read attempt (see read_fault_at()).
+struct ReadFault {
+  bool dropout = false;      // the read produced no value
+  double stall_seconds = 0.0;  // simulated latency this attempt cost
+};
 
 struct FaultEvent {
   FaultKind kind{};
@@ -78,6 +93,15 @@ class FaultInjector {
   /// state is internally locked.
   double apply_sensor_faults(const std::string& path, double raw,
                              TimePoint now, Rng& rng) const;
+
+  /// Rolls the read-fault dice for one read attempt on `path` at `now`:
+  /// dropout faults fail the read with their magnitude as probability, stall
+  /// faults add jittered simulated latency. Draws from `rng` only while a
+  /// read fault is active on `path`, so fault-free runs consume an identical
+  /// random stream to a build without this feature. Thread-safety matches
+  /// apply_sensor_faults().
+  ReadFault read_fault_at(const std::string& path, TimePoint now,
+                          Rng& rng) const;
 
   /// Ground truth: faults of any kind active at `t` (optionally filtered to
   /// those touching the given path/target).

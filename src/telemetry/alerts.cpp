@@ -1,7 +1,10 @@
 #include "telemetry/alerts.hpp"
 
+#include <unordered_map>
+
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "obs/metrics.hpp"
 
 namespace oda::telemetry {
 
@@ -17,6 +20,52 @@ const char* alert_severity_name(AlertSeverity s) {
 void AlertEngine::add_rule(AlertRule rule) {
   ODA_REQUIRE(!rule.name.empty(), "alert rule needs a name");
   rules_.push_back(std::move(rule));
+}
+
+void AlertEngine::set_history_limit(std::size_t limit) {
+  ODA_REQUIRE(limit > 0, "alert history limit must be positive");
+  history_limit_ = limit;
+  if (history_.size() > history_limit_) evict_history();
+}
+
+void AlertEngine::evict_history() {
+  // Pin entries still referenced by an active state: their records are
+  // updated in place when the alert clears.
+  std::vector<bool> pinned(history_.size(), false);
+  for (const auto& [key, st] : state_) {
+    if (st.alert_active) pinned[st.history_index] = true;
+  }
+  // Evict oldest unpinned entries down to 3/4 of the cap, so eviction runs
+  // in amortized batches rather than on every subsequent alert.
+  const std::size_t target = history_limit_ - history_limit_ / 4;
+  std::size_t to_drop = history_.size() > target ? history_.size() - target : 0;
+  std::vector<Alert> kept;
+  kept.reserve(history_.size());
+  std::unordered_map<std::size_t, std::size_t> remap;
+  remap.reserve(history_.size());
+  std::uint64_t dropped = 0;
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    if (to_drop > 0 && !pinned[i]) {
+      --to_drop;
+      ++dropped;
+      continue;
+    }
+    remap[i] = kept.size();
+    kept.push_back(std::move(history_[i]));
+  }
+  if (dropped == 0) return;  // everything pinned: history may exceed the cap
+  history_ = std::move(kept);
+  for (auto& [key, st] : state_) {
+    const auto it = remap.find(st.history_index);
+    // Only active states dereference history_index; their entries are
+    // pinned, so this lookup always succeeds for them.
+    st.history_index = it != remap.end() ? it->second : 0;
+  }
+  evicted_ += dropped;
+  obs::MetricsRegistry::global()
+      .counter("oda_alerts_history_evicted_total",
+               "Alerts evicted from the bounded history")
+      .inc(dropped);
 }
 
 bool AlertEngine::violates(const AlertRule& rule, double value) {
@@ -51,6 +100,7 @@ void AlertEngine::observe(const Reading& reading) {
           alert.value = value;
           st.history_index = history_.size();
           history_.push_back(alert);
+          if (history_.size() > history_limit_) evict_history();
           if (callback_) callback_(alert);
         }
       } else {

@@ -3,6 +3,7 @@
 // a sustained hold time, and clear with hysteresis.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -57,6 +58,15 @@ class AlertEngine {
 
   void set_callback(AlertCallback cb) { callback_ = std::move(cb); }
 
+  /// Caps retained history (default 4096). When the cap is exceeded the
+  /// oldest *cleared* alerts are evicted (active alerts are pinned — their
+  /// records are still being updated); long runs therefore hold bounded
+  /// memory instead of growing forever.
+  void set_history_limit(std::size_t limit);
+  std::size_t history_limit() const { return history_limit_; }
+  /// Alerts evicted from history so far.
+  std::uint64_t history_evicted() const { return evicted_; }
+
   std::vector<Alert> active() const;
   const std::vector<Alert>& history() const { return history_; }
   std::size_t active_count() const;
@@ -70,11 +80,16 @@ class AlertEngine {
 
   static bool violates(const AlertRule& rule, double value);
   static bool cleared(const AlertRule& rule, double value);
+  /// Evicts oldest cleared alerts until history fits the cap, remapping
+  /// every RuleState::history_index so active alerts stay valid.
+  void evict_history();
 
   std::vector<AlertRule> rules_;
   // State per (rule index, sensor path).
   std::map<std::pair<std::size_t, std::string>, RuleState> state_;
   std::vector<Alert> history_;
+  std::size_t history_limit_ = 4096;
+  std::uint64_t evicted_ = 0;
   AlertCallback callback_;
 };
 

@@ -20,6 +20,7 @@ struct BusMetrics {
   obs::Counter& published;
   obs::Counter& delivered;
   obs::Counter& slow;
+  obs::Counter& unrouted;
   obs::Histogram& publish_seconds;
 
   static BusMetrics& get() {
@@ -31,6 +32,9 @@ struct BusMetrics {
         obs::MetricsRegistry::global().counter(
             "oda_bus_slow_deliveries_total",
             "Deliveries exceeding the bus slow threshold"),
+        obs::MetricsRegistry::global().counter(
+            "oda_bus_unrouted_total",
+            "Publishes that matched zero subscribers"),
         obs::MetricsRegistry::global().histogram(
             "oda_bus_publish_seconds",
             "End-to-end publish latency (all matching subscribers)"),
@@ -75,12 +79,35 @@ void MessageBus::publish(const Reading& reading) {
   // subscribe may reallocate) keeps the callback and its accounting valid
   // even if the subscription is removed mid-delivery.
   std::vector<std::shared_ptr<SubStats>> targets;
+  bool warn_unrouted = false;
   {
     std::lock_guard lock(mu_);
     for (const auto& s : subs_) {
       if (glob_match(s.stats->pattern, reading.path)) {
         targets.push_back(s.stats);
       }
+    }
+    if (targets.empty()) {
+      // Silent-drop visibility: nobody consumed this reading. Warn once per
+      // top-level path prefix so a misrouted family surfaces without a log
+      // line per sample.
+      const std::string prefix =
+          reading.path.substr(0, reading.path.find('/'));
+      if (std::find(unrouted_warned_.begin(), unrouted_warned_.end(),
+                    prefix) == unrouted_warned_.end()) {
+        unrouted_warned_.push_back(prefix);
+        warn_unrouted = true;
+      }
+    }
+  }
+  if (targets.empty()) {
+    // relaxed: statistics counter, like published_ above.
+    unrouted_.fetch_add(1, std::memory_order_relaxed);
+    metrics.unrouted.inc();
+    if (warn_unrouted) {
+      ODA_LOG_WARN << "bus publish matched no subscribers (path '"
+                   << reading.path << "'); counting under prefix '"
+                   << reading.path.substr(0, reading.path.find('/')) << "'";
     }
   }
   using Clock = std::chrono::steady_clock;

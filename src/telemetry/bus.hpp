@@ -57,6 +57,13 @@ class MessageBus {
   std::uint64_t delivered_count() const {
     return delivered_.load(std::memory_order_relaxed);
   }
+  /// Publishes that matched zero subscribers — "data nobody consumed".
+  /// Counted (oda_bus_unrouted_total) and warn-logged once per top-level
+  /// path prefix, so chaos runs can tell silent drops from real gaps.
+  std::uint64_t unrouted_count() const {
+    // relaxed: monotonic statistics counter, like published_/delivered_.
+    return unrouted_.load(std::memory_order_relaxed);
+  }
 
   /// A delivery slower than this is counted as slow and warned about once
   /// per subscription. Default 1ms — generous for an in-process callback.
@@ -95,8 +102,12 @@ class MessageBus {
   mutable std::mutex mu_;
   std::vector<Subscription> subs_;
   SubscriptionId next_id_ = 1;
+  /// Top-level path prefixes already warned about as unrouted (guarded by
+  /// mu_; bounded by the number of distinct prefixes).
+  std::vector<std::string> unrouted_warned_;
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> unrouted_{0};
   std::atomic<double> slow_threshold_s_{1e-3};
 };
 

@@ -1,13 +1,33 @@
 #include "telemetry/collector.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 
+#include "common/log.hpp"
 #include "common/string_util.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace oda::telemetry {
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+double retry_backoff_s(const RetryPolicy& policy, int retry_index, Rng& rng) {
+  double backoff = policy.base_backoff_s;
+  for (int i = 0; i < retry_index; ++i) backoff *= policy.backoff_multiplier;
+  if (policy.jitter_fraction > 0.0) {
+    backoff *= 1.0 + policy.jitter_fraction * rng.uniform(-1.0, 1.0);
+  }
+  return backoff;
+}
 
 Collector::Collector(sim::ClusterSimulation& cluster, TimeSeriesStore* store,
                      MessageBus* bus, ThreadPool* pool)
@@ -15,10 +35,23 @@ Collector::Collector(sim::ClusterSimulation& cluster, TimeSeriesStore* store,
       store_(store),
       bus_(bus),
       pool_(pool),
-      overlay_rng_(cluster.params().seed ^ 0x0DAC0113C708ULL) {
+      overlay_rng_(cluster.params().seed ^ 0x0DAC0113C708ULL),
+      serial_backoff_rng_(cluster.params().seed ^ 0x0DABACC0FFULL) {
   for (const auto& s : cluster.sensors()) {
     catalog_.add({s.path, s.unit});
   }
+  auto& registry = obs::MetricsRegistry::global();
+  for (int s = 0; s < 3; ++s) {
+    breaker_transitions_[s] = &registry.counter(
+        "oda_collector_breaker_transitions_total",
+        "Circuit-breaker state transitions by destination state",
+        {{"to", breaker_state_name(static_cast<BreakerState>(s))}});
+  }
+  open_breakers_gauge_ = &registry.gauge(
+      "oda_collector_breakers_open", "Sensors whose circuit breaker is open");
+  empty_groups_gauge_ = &registry.gauge(
+      "oda_collector_empty_groups",
+      "Sampling groups whose glob pattern matched zero sensors");
 }
 
 std::size_t Collector::add_group(CollectorGroup group) {
@@ -27,12 +60,32 @@ std::size_t Collector::add_group(CollectorGroup group) {
   g.sensor_paths = catalog_.match(g.def.pattern);
   g.sensor_ids.reserve(g.sensor_paths.size());
   for (const auto& path : g.sensor_paths) {
-    g.sensor_ids.push_back(SeriesInterner::global().intern(path));
+    const SeriesId id = SeriesInterner::global().intern(path);
+    g.sensor_ids.push_back(id);
+    breakers_.emplace(id.value, Breaker{});
   }
-  g.samples = &obs::MetricsRegistry::global().counter(
-      "oda_collector_samples_total", "Samples collected per sampling group",
-      {{"group", g.def.name}});
+  auto& registry = obs::MetricsRegistry::global();
+  g.samples = &registry.counter("oda_collector_samples_total",
+                                "Samples collected per sampling group",
+                                {{"group", g.def.name}});
+  g.retries = &registry.counter("oda_collector_read_retries_total",
+                                "Read retry attempts per sampling group",
+                                {{"group", g.def.name}});
+  static constexpr ReadOutcome kGapReasons[3] = {
+      ReadOutcome::kDropout, ReadOutcome::kDeadline, ReadOutcome::kBreakerOpen};
+  for (int i = 0; i < 3; ++i) {
+    g.gaps[i] = &registry.counter(
+        "oda_collector_gaps_total",
+        "Samples lost to failed or skipped reads, by reason",
+        {{"group", g.def.name}, {"reason", read_outcome_name(kGapReasons[i])}});
+  }
   const std::size_t matched = g.sensor_paths.size();
+  if (matched == 0) {
+    ODA_LOG_WARN << "collector group '" << g.def.name << "' pattern '"
+                 << g.def.pattern << "' matched no sensors";
+    ++empty_groups_;
+    empty_groups_gauge_->set(static_cast<double>(empty_groups_));
+  }
   groups_.push_back(std::move(g));
   return matched;
 }
@@ -41,15 +94,107 @@ std::size_t Collector::add_all_sensors(Duration period) {
   return add_group({"all", "*", period});
 }
 
+void Collector::transition_breaker(Breaker& breaker, BreakerState to,
+                                   TimePoint now) {
+  if (breaker.state == to) return;
+  if (to == BreakerState::kOpen) {
+    breaker.opened_at = now;
+    breaker.probe_successes = 0;
+    // relaxed: statistics gauge (see open_breakers()).
+    open_breakers_.fetch_add(1, std::memory_order_relaxed);
+  } else if (breaker.state == BreakerState::kOpen) {
+    // relaxed: statistics gauge (see open_breakers()).
+    open_breakers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (to == BreakerState::kClosed) {
+    breaker.consecutive_failures = 0;
+    breaker.probe_successes = 0;
+  }
+  breaker.state = to;
+  breaker_transitions_[static_cast<int>(to)]->inc();
+}
+
+void Collector::on_read_success(Breaker& breaker, TimePoint now) {
+  if (breaker.state == BreakerState::kHalfOpen) {
+    ++breaker.probe_successes;
+    if (breaker.probe_successes >= breaker_.half_open_successes) {
+      transition_breaker(breaker, BreakerState::kClosed, now);
+    }
+  } else {
+    breaker.consecutive_failures = 0;
+  }
+}
+
+void Collector::on_read_failure(Breaker& breaker, TimePoint now) {
+  if (breaker.state == BreakerState::kHalfOpen) {
+    // A failed probe re-opens immediately and restarts the cooldown.
+    transition_breaker(breaker, BreakerState::kOpen, now);
+    return;
+  }
+  ++breaker.consecutive_failures;
+  if (breaker.state == BreakerState::kClosed &&
+      breaker.consecutive_failures >= breaker_.failure_threshold) {
+    transition_breaker(breaker, BreakerState::kOpen, now);
+  }
+}
+
+Collector::SlotResult Collector::attempt_read(const std::string& path,
+                                              SeriesId id, TimePoint now,
+                                              Rng* value_rng, Rng& aux_rng) {
+  SlotResult slot;
+  Breaker& breaker = breakers_.find(id.value)->second;
+
+  if (breaker.state == BreakerState::kOpen) {
+    if (now - breaker.opened_at < breaker_.open_cooldown) {
+      slot.outcome = ReadOutcome::kBreakerOpen;
+      return slot;
+    }
+    transition_breaker(breaker, BreakerState::kHalfOpen, now);
+  }
+
+  double cost_s = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    const sim::SensorReadResult r = value_rng != nullptr
+                                        ? cluster_.try_read_sensor(path, *value_rng)
+                                        : cluster_.try_read_sensor(path);
+    cost_s += r.latency_s;
+    if (cost_s > retry_.read_deadline_s) {
+      // The attempt chain blew its latency budget: give up now, whatever
+      // the attempt returned — the collector never blocks past the
+      // deadline on a stalled sensor.
+      slot.outcome = ReadOutcome::kDeadline;
+      break;
+    }
+    if (r.ok) {
+      slot.value = r.value;
+      slot.outcome = ReadOutcome::kOk;
+      on_read_success(breaker, now);
+      return slot;
+    }
+    slot.outcome = ReadOutcome::kDropout;
+    if (breaker.state == BreakerState::kHalfOpen) break;  // failed probe
+    if (attempt + 1 >= retry_.max_attempts) break;
+    cost_s += retry_backoff_s(retry_, attempt, aux_rng);
+    if (cost_s > retry_.read_deadline_s) {
+      slot.outcome = ReadOutcome::kDeadline;
+      break;
+    }
+    ++slot.retries;
+  }
+  on_read_failure(breaker, now);
+  return slot;
+}
+
 void Collector::read_group(const Group& group, TimePoint now,
-                           std::vector<IdReading>& readings) {
+                           std::vector<SlotResult>& slots) {
   const std::size_t n = group.sensor_paths.size();
   if (pool_ != nullptr && n >= 64) {
     // Genuinely parallel reads: each chunk owns a split of overlay_rng_, so
     // no lock serializes the fault overlay. Reads are const over a quiescent
     // simulator (collect() runs between step()s); the lazily captured
-    // stuck-fault state is locked inside FaultInjector. Per-read overlay
-    // ordering is not promised, so the stream reshuffle is fine.
+    // stuck-fault state is locked inside FaultInjector, and each sensor's
+    // breaker entry belongs to exactly one chunk. Per-read overlay ordering
+    // is not promised, so the stream reshuffle is fine.
     const std::size_t chunks = std::min(n, pool_->thread_count() * 4);
     const std::size_t chunk = (n + chunks - 1) / chunks;
     std::vector<std::future<void>> futures;
@@ -57,21 +202,19 @@ void Collector::read_group(const Group& group, TimePoint now,
     for (std::size_t lo = 0; lo < n; lo += chunk) {
       const std::size_t hi = std::min(lo + chunk, n);
       futures.push_back(pool_->submit(
-          [this, &group, &readings, lo, hi, now,
+          [this, &group, &slots, lo, hi, now,
            rng = overlay_rng_.split(lo)]() mutable {
             for (std::size_t i = lo; i < hi; ++i) {
-              readings[i] = IdReading{
-                  group.sensor_ids[i],
-                  {now, cluster_.read_sensor(group.sensor_paths[i], rng)}};
+              slots[i] = attempt_read(group.sensor_paths[i],
+                                      group.sensor_ids[i], now, &rng, rng);
             }
           }));
     }
     for (auto& f : futures) f.get();
   } else {
     for (std::size_t i = 0; i < n; ++i) {
-      readings[i] = IdReading{
-          group.sensor_ids[i],
-          {now, cluster_.read_sensor(group.sensor_paths[i])}};
+      slots[i] = attempt_read(group.sensor_paths[i], group.sensor_ids[i], now,
+                              nullptr, serial_backoff_rng_);
     }
   }
 }
@@ -83,29 +226,75 @@ void Collector::collect() {
   const auto pass_start = std::chrono::steady_clock::now();
 
   const TimePoint now = cluster_.now();
+  std::vector<IdReading> readings;
   for (const auto& group : groups_) {
     if (group.def.period <= 0 || now % group.def.period != 0) continue;
 
-    std::vector<IdReading> readings(group.sensor_ids.size());
-    read_group(group, now, readings);
+    const std::size_t n = group.sensor_ids.size();
+    std::vector<SlotResult> slots(n);
+    read_group(group, now, slots);
+
+    // Serial post-pass: compact successful reads into one batch, account
+    // every gap, and feed the health tracker. Exact conservation:
+    // n == ingested + gaps for every due group pass.
+    readings.clear();
+    readings.reserve(n);
+    std::uint64_t pass_retries = 0;
+    std::uint64_t gap_counts[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < n; ++i) {
+      const SlotResult& slot = slots[i];
+      pass_retries += slot.retries;
+      if (slot.outcome == ReadOutcome::kOk) {
+        readings.push_back(IdReading{group.sensor_ids[i], {now, slot.value}});
+        if (health_ != nullptr) {
+          health_->record_success(group.sensor_ids[i], group.sensor_paths[i],
+                                  now, slot.value);
+        }
+      } else {
+        ++gap_counts[static_cast<int>(slot.outcome) - 1];
+        if (health_ != nullptr) {
+          health_->record_failure(group.sensor_ids[i], group.sensor_paths[i],
+                                  now, slot.outcome);
+        }
+      }
+    }
 
     // One batch insert per group: the store groups by shard and takes each
     // shard lock once, instead of one map lookup + lock per sample.
-    if (store_ != nullptr) store_->insert_batch(readings);
+    if (store_ != nullptr && !readings.empty()) store_->insert_batch(readings);
     if (bus_ != nullptr) {
-      for (std::size_t i = 0; i < readings.size(); ++i) {
-        bus_->publish(Reading{group.sensor_paths[i], readings[i].sample});
+      for (const auto& r : readings) {
+        bus_->publish(
+            Reading{SeriesInterner::global().path(r.id), r.sample});
       }
     }
-    // relaxed: monotonic statistics counter (see samples_collected()).
+
+    const std::uint64_t gaps = gap_counts[0] + gap_counts[1] + gap_counts[2];
+    // relaxed (all counters below): monotonic statistics (see accessors).
+    samples_expected_.fetch_add(n, std::memory_order_relaxed);
     samples_collected_.fetch_add(readings.size(), std::memory_order_relaxed);
+    gaps_total_.fetch_add(gaps, std::memory_order_relaxed);
+    retries_total_.fetch_add(pass_retries, std::memory_order_relaxed);
     group.samples->inc(readings.size());
+    if (pass_retries > 0) group.retries->inc(pass_retries);
+    for (int i = 0; i < 3; ++i) {
+      if (gap_counts[i] > 0) group.gaps[i]->inc(gap_counts[i]);
+    }
   }
+  open_breakers_gauge_->set(static_cast<double>(open_breakers()));
+  if (health_ != nullptr) health_->step(now);
 
   pass_seconds.observe(
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     pass_start)
           .count());
+}
+
+BreakerState Collector::breaker_state(const std::string& path) const {
+  const auto id = SeriesInterner::global().lookup(path);
+  if (!id.has_value()) return BreakerState::kClosed;
+  const auto it = breakers_.find(id->value);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
 }
 
 }  // namespace oda::telemetry

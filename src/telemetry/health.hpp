@@ -1,0 +1,160 @@
+// Sensor-health tracking: classifies every collected series as healthy,
+// flaky, or quarantined from two evidence streams — read outcomes reported
+// by the collector (dropouts, deadline misses, breaker skips) and value
+// heuristics over the successful readings (flatline after variation,
+// out-of-plausible-range, staleness). Quarantine transitions are published
+// on the bus ("_health/<sensor-path>") and exported through the obs
+// registry, and the per-series quality flag is queryable so descriptive
+// analytics can skip poisoned series and report a coverage fraction instead
+// of silently averaging them (docs/RESILIENCE.md).
+//
+// The tracker is a strict overlay: a series it has never seen is reported
+// healthy/usable, and a fault-free pipeline never changes state.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/bus.hpp"
+#include "telemetry/series_id.hpp"
+
+namespace oda::obs {
+class Counter;
+class Gauge;
+}  // namespace oda::obs
+
+namespace oda::telemetry {
+
+enum class SensorState : std::uint8_t { kHealthy = 0, kFlaky, kQuarantined };
+const char* sensor_state_name(SensorState s);
+
+/// What one collector read attempt chain ultimately produced.
+enum class ReadOutcome : std::uint8_t {
+  kOk = 0,       // a value was ingested
+  kDropout,      // every attempt returned no value
+  kDeadline,     // accumulated latency exceeded the per-read deadline
+  kBreakerOpen,  // the read was skipped: this sensor's breaker is open
+};
+const char* read_outcome_name(ReadOutcome o);
+
+struct HealthPolicy {
+  /// Sliding read-outcome window per series (capped at 64).
+  std::size_t window = 32;
+  /// Outcomes required before failure rates are trusted.
+  std::size_t min_observations = 4;
+  /// Window failure fraction at which a series turns flaky / quarantined.
+  double flaky_failure_rate = 0.125;
+  double quarantine_failure_rate = 0.5;
+  /// Identical consecutive successful values (after the series has varied
+  /// at least once) that quarantine it as stuck. 0 disables the heuristic.
+  /// Deliberately long by default: utilization-style sensors sit flat at
+  /// 0 or 1 for many minutes during normal operation (240 samples at a
+  /// 15 s period is an hour of bit-identical readings).
+  std::size_t flatline_run = 240;
+  /// Consecutive out-of-range successes that quarantine it. 0 disables.
+  std::size_t out_of_range_run = 4;
+  /// No successful read for this long => quarantined (step() sweep).
+  /// 0 disables the heuristic.
+  Duration staleness = 30 * kMinute;
+  /// Consecutive clean (in-range, non-flat) successes that return a
+  /// quarantined or flaky series to healthy.
+  std::size_t recovery_successes = 8;
+};
+
+class SensorHealthTracker {
+ public:
+  /// `bus` may be null; when set, quarantine enter/leave transitions are
+  /// published as Readings on "_health/<sensor-path>" with the new state
+  /// encoded as a value (0 healthy / 1 flaky / 2 quarantined).
+  explicit SensorHealthTracker(HealthPolicy policy = {},
+                               MessageBus* bus = nullptr);
+
+  /// Registers a plausible-range heuristic for sensors matching the glob
+  /// pattern (first matching pattern wins, in registration order).
+  void set_range(const std::string& pattern, double lo, double hi);
+
+  /// Feed one read outcome. The collector calls these once per sensor per
+  /// sampling pass; thread-safe (internally locked).
+  void record_success(SeriesId id, const std::string& path, TimePoint now,
+                      double value);
+  void record_failure(SeriesId id, const std::string& path, TimePoint now,
+                      ReadOutcome reason);
+
+  /// Staleness sweep — call occasionally (the collector does, once per
+  /// collect pass).
+  void step(TimePoint now);
+
+  // -- quality queries ---------------------------------------------------------
+  /// Unknown series report healthy: the tracker is a strict overlay.
+  SensorState state(SeriesId id) const;
+  SensorState state(const std::string& path) const;
+  /// True unless the series is quarantined.
+  bool usable(SeriesId id) const;
+  bool usable(const std::string& path) const;
+
+  /// Paths currently quarantined, sorted.
+  std::vector<std::string> quarantined() const;
+
+  struct Counts {
+    std::size_t healthy = 0;
+    std::size_t flaky = 0;
+    std::size_t quarantined = 0;
+    std::size_t tracked = 0;
+  };
+  Counts counts() const;
+
+  /// Total state transitions observed (for tests/dashboards).
+  std::uint64_t transitions() const;
+
+  const HealthPolicy& policy() const { return policy_; }
+
+ private:
+  struct RangeRule {
+    std::string pattern;
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+
+  struct SeriesHealth {
+    std::string path;
+    SensorState state = SensorState::kHealthy;
+    // Sliding outcome window: bit 0 = newest outcome, 1 = failure.
+    std::uint64_t window_bits = 0;
+    std::size_t window_fill = 0;
+    std::size_t window_failures = 0;
+    double last_value = 0.0;
+    bool has_value = false;
+    bool has_varied = false;       // saw at least two distinct values
+    std::size_t flat_run = 0;      // identical consecutive successes
+    std::size_t oor_run = 0;       // consecutive out-of-range successes
+    std::size_t clean_run = 0;     // consecutive clean successes
+    TimePoint last_success = kTimeMin;
+    bool range_resolved = false;
+    bool has_range = false;
+    double range_lo = 0.0;
+    double range_hi = 0.0;
+  };
+
+  SeriesHealth& series_locked(SeriesId id, const std::string& path);
+  void push_outcome_locked(SeriesHealth& s, bool failure);
+  double failure_rate_locked(const SeriesHealth& s) const;
+  void reevaluate_locked(SeriesHealth& s, TimePoint now);
+  void transition_locked(SeriesHealth& s, SensorState to, TimePoint now);
+  void update_gauges_locked();
+
+  HealthPolicy policy_;
+  MessageBus* bus_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint32_t, SeriesHealth> series_;
+  std::vector<RangeRule> ranges_;
+  std::uint64_t transitions_ = 0;
+  // Owned by the global registry (aggregate across trackers, like the bus).
+  obs::Counter* transition_counters_[3] = {nullptr, nullptr, nullptr};
+  obs::Gauge* state_gauges_[3] = {nullptr, nullptr, nullptr};
+};
+
+}  // namespace oda::telemetry

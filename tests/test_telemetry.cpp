@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "sim/cluster.hpp"
 #include "telemetry/alerts.hpp"
 #include "telemetry/bus.hpp"
@@ -264,6 +265,137 @@ TEST(Alerts, PerSensorStateIndependent) {
   engine.observe({"rack1/temp", {0, 40.0}});
   EXPECT_EQ(engine.active_count(), 1u);
   EXPECT_EQ(engine.active()[0].sensor, "rack0/temp");
+}
+
+// Hysteresis edge cases: the threshold itself is not a violation (strict
+// compare), and the clear band is exclusive at threshold - hysteresis.
+TEST(Alerts, ValueExactlyAtThresholdEdges) {
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "hot";
+  rule.sensor_pattern = "t";
+  rule.threshold = 80.0;
+  rule.hold = 0;
+  rule.hysteresis = 5.0;
+  engine.add_rule(rule);
+
+  engine.observe({"t", {0, 80.0}});  // exactly at threshold: no violation
+  EXPECT_EQ(engine.active_count(), 0u);
+  engine.observe({"t", {10, std::nextafter(80.0, 81.0)}});  // one ulp above
+  EXPECT_EQ(engine.active_count(), 1u);
+  engine.observe({"t", {20, 75.0}});  // exactly threshold - hysteresis: holds
+  EXPECT_EQ(engine.active_count(), 1u);
+  engine.observe({"t", {30, std::nextafter(75.0, 74.0)}});  // one ulp below
+  EXPECT_EQ(engine.active_count(), 0u);
+}
+
+// A collection gap (no readings for a while) must not reset the hold timer:
+// the violation window straddles the gap.
+TEST(Alerts, HoldWindowStraddlesCollectionGap) {
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "hot";
+  rule.sensor_pattern = "t";
+  rule.threshold = 80.0;
+  rule.hold = 60;
+  engine.add_rule(rule);
+
+  engine.observe({"t", {0, 85.0}});  // violation starts
+  EXPECT_EQ(engine.active_count(), 0u);
+  // Sensor quarantined / breaker open: nothing arrives until t = 300.
+  engine.observe({"t", {300, 85.0}});  // still violating after the gap
+  EXPECT_EQ(engine.active_count(), 1u);
+  ASSERT_EQ(engine.history().size(), 1u);
+  EXPECT_EQ(engine.history()[0].raised_at, 300);
+}
+
+TEST(Alerts, RefiresAfterClear) {
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "hot";
+  rule.sensor_pattern = "t";
+  rule.threshold = 80.0;
+  rule.hold = 20;
+  rule.hysteresis = 5.0;
+  engine.add_rule(rule);
+
+  engine.observe({"t", {0, 85.0}});
+  engine.observe({"t", {20, 85.0}});
+  EXPECT_EQ(engine.active_count(), 1u);
+  engine.observe({"t", {40, 70.0}});  // clears
+  EXPECT_EQ(engine.active_count(), 0u);
+  engine.observe({"t", {60, 85.0}});  // second episode: hold starts fresh
+  EXPECT_EQ(engine.active_count(), 0u);
+  engine.observe({"t", {80, 85.0}});
+  EXPECT_EQ(engine.active_count(), 1u);
+  ASSERT_EQ(engine.history().size(), 2u);
+  EXPECT_TRUE(engine.history()[0].cleared);
+  EXPECT_FALSE(engine.history()[1].cleared);
+}
+
+TEST(Alerts, HistoryCapEvictsOldestClearedAndKeepsActiveValid) {
+  AlertEngine engine;
+  engine.set_history_limit(16);
+  AlertRule rule;
+  rule.name = "hot";
+  rule.sensor_pattern = "*";
+  rule.threshold = 1.0;
+  rule.hysteresis = 0.0;
+  engine.add_rule(rule);
+
+  // One alert stays active the whole time (pinned in history).
+  engine.observe({"pinned", {0, 5.0}});
+  EXPECT_EQ(engine.active_count(), 1u);
+
+  // Churn far more fire/clear episodes than the cap on another sensor.
+  TimePoint t = 10;
+  for (int i = 0; i < 100; ++i) {
+    engine.observe({"churn", {t, 5.0}});
+    engine.observe({"churn", {t + 1, 0.0}});
+    t += 10;
+  }
+  EXPECT_LE(engine.history().size(), 16u);
+  EXPECT_GT(engine.history_evicted(), 0u);
+  // The long-lived alert's record survived eviction and still clears
+  // correctly through its remapped history index.
+  ASSERT_EQ(engine.active_count(), 1u);
+  EXPECT_EQ(engine.active()[0].sensor, "pinned");
+  engine.observe({"pinned", {t, 0.0}});
+  EXPECT_EQ(engine.active_count(), 0u);
+  bool found_cleared_pinned = false;
+  for (const auto& a : engine.history()) {
+    if (a.sensor == "pinned" && a.cleared) found_cleared_pinned = true;
+  }
+  EXPECT_TRUE(found_cleared_pinned);
+}
+
+// ------------------------------------------------------------- unrouted
+
+TEST(MessageBus, CountsUnroutedPublishes) {
+  MessageBus bus;
+  bus.subscribe("rack0/*", [](const Reading&) {});
+  const auto before = bus.unrouted_count();
+  bus.publish("rack0/power", 0, 1.0);   // routed
+  bus.publish("orphan/metric", 0, 1.0);  // no subscriber
+  bus.publish("orphan/other", 0, 1.0);   // same prefix: counted, logged once
+  EXPECT_EQ(bus.unrouted_count(), before + 2);
+}
+
+// ---------------------------------------------------------- empty groups
+
+TEST(Collector, WarnsOnPatternMatchingNothing) {
+  sim::ClusterParams params;
+  params.racks = 1;
+  params.nodes_per_rack = 2;
+  sim::ClusterSimulation cluster(params);
+  Collector collector(cluster, nullptr, nullptr);
+  CaptureSink capture;
+  EXPECT_EQ(collector.add_group({"typo", "rak*/node*/power", 60}), 0u);
+  bool warned = false;
+  for (const auto& line : capture.lines()) {
+    if (line.find("matched no sensors") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned);
 }
 
 // ---------------------------------------------------------------- derived
