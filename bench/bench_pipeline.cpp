@@ -7,6 +7,8 @@
 #include "bench_util.hpp"
 
 #include "common/rng.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 #include "sim/cluster.hpp"
 #include "telemetry/bus.hpp"
 #include "telemetry/collector.hpp"
@@ -103,6 +105,47 @@ void BM_CollectorPass(benchmark::State& state) {
       static_cast<double>(collector.catalog().size());
 }
 BENCHMARK(BM_CollectorPass)->Arg(1)->Arg(4)->Arg(16);
+
+// The tracing cost ladder (trace.hpp's cost model). Both sinks off must
+// price a span at one relaxed atomic load — compare against RecorderOnly
+// (the always-on default: clock reads + ring stores) and Full (tracer
+// buffer push on top). Spans are taken via the TraceSpan class directly so
+// the ladder is measurable in ODA_TRACING=OFF builds too; the macro path
+// compiles to literally nothing there.
+void BM_TraceSpanDisabled(benchmark::State& state) {
+  obs::Tracer::global().set_enabled(false);
+  obs::FlightRecorder::global().set_enabled(false);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.span", "bench");
+  }
+  state.SetItemsProcessed(state.iterations());
+  obs::FlightRecorder::global().set_enabled(true);  // restore the default
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void BM_TraceSpanRecorderOnly(benchmark::State& state) {
+  obs::Tracer::global().set_enabled(false);
+  obs::FlightRecorder::global().set_enabled(true);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.span", "bench");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpanRecorderOnly);
+
+void BM_TraceSpanFull(benchmark::State& state) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.set_capacity(1 << 12);  // small cap: steady state is count-drops
+  tracer.set_enabled(true);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench.span", "bench");
+  }
+  state.SetItemsProcessed(state.iterations());
+  tracer.set_enabled(false);
+  tracer.clear();
+  tracer.set_capacity(1 << 16);
+}
+BENCHMARK(BM_TraceSpanFull);
 
 void BM_SimStep(benchmark::State& state) {
   sim::ClusterParams params;

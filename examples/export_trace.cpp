@@ -1,8 +1,12 @@
 // Telemetry exporter: run the simulated facility from a config file and
 // dump selected sensors as CSV for external plotting/analysis — the
 // "facility data processing" endpoint of the descriptive row ([8],[58]).
+// With a fourth argument it also records the run with causal tracing on and
+// writes the Chrome trace JSON there (validated by scripts/check_trace.py
+// in CI), so the same binary exports both the data and the trace of
+// producing it.
 //
-//   ./export_trace [config_file] [sensor_glob] [hours] > trace.csv
+//   ./export_trace [config_file] [sensor_glob] [hours] [trace_json] > trace.csv
 //
 // Config files use "section.key = value" lines; see
 // sim::cluster_params_to_config for every recognized key, e.g.:
@@ -18,6 +22,7 @@
 #include <sstream>
 
 #include "common/csv.hpp"
+#include "obs/trace.hpp"
 #include "sim/cluster.hpp"
 #include "sim/config.hpp"
 #include "telemetry/collector.hpp"
@@ -43,6 +48,13 @@ int main(int argc, char** argv) {
   }
   const std::string pattern = argc > 2 ? argv[2] : "facility/*";
   const Duration hours = argc > 3 ? std::atoll(argv[3]) : 24;
+  const char* trace_json = argc > 4 ? argv[4] : nullptr;
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (trace_json != nullptr) {
+    tracer.set_capacity(1 << 18);
+    tracer.set_enabled(true);
+  }
 
   sim::ClusterSimulation cluster(params);
   telemetry::TimeSeriesStore store(1 << 17);
@@ -77,5 +89,17 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "wrote %zu rows x %zu columns\n", frame.rows(),
                frame.cols() + 1);
+
+  if (trace_json != nullptr) {
+    tracer.set_enabled(false);
+    std::ofstream out(trace_json);
+    if (!out) {
+      std::fprintf(stderr, "cannot open trace output: %s\n", trace_json);
+      return 1;
+    }
+    out << tracer.to_chrome_json();
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 tracer.event_count(), trace_json);
+  }
   return 0;
 }

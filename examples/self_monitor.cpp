@@ -11,6 +11,12 @@
 //   * a Chrome trace_event JSON loadable in chrome://tracing / Perfetto.
 //
 //   ./self_monitor [hours=8] [prom_out] [trace_out] [metrics_json_out]
+//                  [flight_out]
+//
+// The always-on flight recorder is exported too: its ring dump (last spans
+// on every thread, causal ids included) goes to flight_out, and the same
+// path is installed as the automatic postmortem destination used by
+// assess_pipeline_health on a healthy -> unhealthy edge.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -31,6 +37,7 @@
 #include "obs/exposition.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "sim/cluster.hpp"
 #include "telemetry/bus.hpp"
@@ -58,12 +65,15 @@ int main(int argc, char** argv) {
   const char* prom_out = argc > 2 ? argv[2] : "self_monitor.prom";
   const char* trace_out = argc > 3 ? argv[3] : "self_monitor_trace.json";
   const char* json_out = argc > 4 ? argv[4] : "self_monitor_metrics.json";
+  const char* flight_out = argc > 5 ? argv[5] : "self_monitor_flight.json";
 
   // Spans from every layer (sim, collector, bus, analytics) are recorded —
   // but only over the final simulated hour, so the bounded trace buffer
   // holds the whole window and drops nothing.
   obs::Tracer& tracer = obs::Tracer::global();
   tracer.set_capacity(1 << 18);
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  recorder.set_dump_path(flight_out);
 
   // 1. Simulated facility + full monitoring plane: collector -> store+bus,
   //    with a thread pool for parallel sensor reads.
@@ -93,6 +103,8 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
   const auto pool_handles = obs::register_thread_pool(registry, pool, "collector");
   const auto tracer_handles = obs::register_tracer(registry, tracer, "global");
+  const auto recorder_handles =
+      obs::register_flight_recorder(registry, recorder, "global");
 
   // 2. Prescriptive control plane (building-infrastructure + hardware cells).
   analytics::ControlLoop control(cluster, store);
@@ -189,11 +201,16 @@ int main(int argc, char** argv) {
   ok = write_file(prom_out, obs::to_prometheus(snapshot)) && ok;
   ok = write_file(json_out, obs::to_json(snapshot)) && ok;
   ok = write_file(trace_out, tracer.to_chrome_json()) && ok;
-  std::printf("exports: %s, %s, %s\n", prom_out, json_out, trace_out);
+  ok = write_file(flight_out, recorder.to_chrome_json()) && ok;
+  std::printf("exports: %s, %s, %s, %s\n", prom_out, json_out, trace_out,
+              flight_out);
   std::printf("trace: %zu spans retained, %llu dropped, %zu metric families\n",
               tracer.event_count(),
               static_cast<unsigned long long>(tracer.dropped()),
               registry.family_count());
+  std::printf("flight recorder: %zu events retained of %llu recorded\n",
+              recorder.event_count(),
+              static_cast<unsigned long long>(recorder.recorded_total()));
 
   if (!ok || !health.healthy()) {
     std::printf("self-monitoring verdict: UNHEALTHY\n");

@@ -10,9 +10,18 @@ Checks, without any third-party dependency:
   * histogram families expose _bucket/_sum/_count, bucket counts are
     cumulative (non-decreasing as le increases), and the +Inf bucket equals
     the _count sample;
-  * sample values parse as floats (NaN/+Inf/-Inf allowed).
+  * sample values parse as floats (NaN/+Inf/-Inf allowed);
+  * OpenMetrics exemplars (` # {trace_id="..."} value` suffixes) parse, sit
+    on _bucket samples only, have legal label names, and a finite-bucket
+    exemplar value fits inside its bucket (value <= le);
+  * with --require-exemplar FAMILY (repeatable): that histogram family
+    carries at least one exemplar;
+  * with --inventory DOC.md: every exported family name appears in the doc
+    (backticked `oda_*` tokens; `{a,b}` brace groups expand) — the
+    inventory-drift gate for docs/OBSERVABILITY.md.
 
 Usage: check_prom.py <file.prom> [--require-prefix oda_]
+                     [--require-exemplar FAMILY] [--inventory DOC.md]
 Exit status 0 when the file is valid, 1 otherwise (problems on stderr).
 """
 
@@ -23,8 +32,12 @@ import sys
 
 METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
-# name { labels } value  (timestamp deliberately unsupported: we never emit one)
-SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+# name { labels } value [# {exemplar-labels} exemplar-value]
+# (timestamps deliberately unsupported: we never emit one)
+SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)"
+    r"(?:\s+#\s+(\{[^}]*\})\s+(\S+))?$"
+)
 LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
@@ -71,11 +84,36 @@ def base_family(name):
     return name
 
 
-def check(path, require_prefix=None):
+def expand_braces(token):
+    """Expands one level of {a,b,c} alternation: 'x_{a,b}_y' -> x_a_y, x_b_y."""
+    m = re.search(r"\{([^{}]*)\}", token)
+    if not m:
+        return [token]
+    out = []
+    for alt in m.group(1).split(","):
+        expanded = token[: m.start()] + alt.strip() + token[m.end():]
+        out.extend(expand_braces(expanded))
+    return out
+
+
+def documented_families(doc_path):
+    """Backticked oda_* names from a markdown inventory, braces expanded."""
+    with open(doc_path, encoding="utf-8") as f:
+        text = f.read()
+    names = set()
+    for token in re.findall(r"oda_[a-zA-Z0-9_{},]*", text):
+        for name in expand_braces(token):
+            if METRIC_NAME.match(name):
+                names.add(name)
+    return names
+
+
+def check(path, require_prefix=None, require_exemplar=(), inventory=None):
     problems = []
     typed = {}        # family -> type
     seen_series = {}  # (name, labels) -> lineno
     samples = []      # (lineno, name, labels, value)
+    exemplar_families = set()
     families_with_samples = set()
 
     with open(path, encoding="utf-8") as f:
@@ -107,7 +145,7 @@ def check(path, require_prefix=None):
         if not m:
             problems.append(f"line {lineno}: unparseable sample {line!r}")
             continue
-        name, label_block, value_text = m.groups()
+        name, label_block, value_text, ex_block, ex_value_text = m.groups()
         if require_prefix and not name.startswith(require_prefix):
             problems.append(
                 f"line {lineno}: metric {name} lacks required prefix "
@@ -129,6 +167,31 @@ def check(path, require_prefix=None):
             seen_series[key] = lineno
         families_with_samples.add(base_family(name))
         samples.append((lineno, name, labels, value))
+
+        if ex_block is not None:
+            if not name.endswith("_bucket"):
+                problems.append(
+                    f"line {lineno}: exemplar on non-bucket sample {name}"
+                )
+            ex_labels = parse_labels(ex_block, problems, lineno)
+            try:
+                ex_value = parse_value(ex_value_text)
+            except ValueError:
+                problems.append(
+                    f"line {lineno}: bad exemplar value {ex_value_text!r}"
+                )
+                continue
+            le_text = dict(labels).get("le")
+            if le_text is not None:
+                le = parse_value(le_text)
+                if math.isfinite(le) and ex_value > le:
+                    problems.append(
+                        f"line {lineno}: exemplar value {ex_value} exceeds "
+                        f"bucket le={le_text}"
+                    )
+            if not ex_labels:
+                problems.append(f"line {lineno}: empty exemplar label set")
+            exemplar_families.add(base_family(name))
 
     # Histogram structure checks.
     for fam, ftype in typed.items():
@@ -168,6 +231,19 @@ def check(path, require_prefix=None):
             if rest not in counts:
                 problems.append(f"histogram {fam}{dict(rest)}: missing _count")
 
+    for fam in require_exemplar:
+        if fam not in exemplar_families:
+            problems.append(f"family {fam}: no exemplar found (required)")
+
+    if inventory is not None:
+        documented = documented_families(inventory)
+        for fam in sorted(typed):
+            if fam not in documented:
+                problems.append(
+                    f"family {fam}: exported but missing from the inventory "
+                    f"table in {inventory} (docs drift)"
+                )
+
     return problems, len(samples), len(typed)
 
 
@@ -179,9 +255,26 @@ def main():
         default=None,
         help="require every metric name to start with this prefix",
     )
+    parser.add_argument(
+        "--require-exemplar",
+        action="append",
+        default=[],
+        metavar="FAMILY",
+        help="require at least one exemplar on this histogram family "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--inventory",
+        default=None,
+        metavar="DOC.md",
+        help="markdown doc whose backticked oda_* names must cover every "
+        "exported family",
+    )
     args = parser.parse_args()
 
-    problems, n_samples, n_families = check(args.file, args.require_prefix)
+    problems, n_samples, n_families = check(
+        args.file, args.require_prefix, args.require_exemplar, args.inventory
+    )
     if problems:
         for p in problems:
             print(f"check_prom: {p}", file=sys.stderr)

@@ -5,6 +5,7 @@
 
 #include "common/stats.hpp"
 #include "common/string_util.hpp"
+#include "obs/trace.hpp"
 #include "telemetry/health.hpp"
 
 namespace oda::analytics {
@@ -28,6 +29,7 @@ std::vector<QuantileSummary> quantile_transport(
     }
     GroupPool& pool = groups[group];
     if (health != nullptr && !health->usable(path)) {
+      ODA_TRACE_INSTANT_CAT("analytics.quarantine_skip", "analytics");
       ++pool.skipped;
       continue;
     }
@@ -93,7 +95,10 @@ std::vector<SensorSnapshot> snapshot_sensors(
     const telemetry::SensorHealthTracker* health) {
   std::vector<SensorSnapshot> out;
   for (const auto& path : store.match(pattern)) {
-    if (health != nullptr && !health->usable(path)) continue;
+    if (health != nullptr && !health->usable(path)) {
+      ODA_TRACE_INSTANT_CAT("analytics.quarantine_skip", "analytics");
+      continue;
+    }
     const auto slice = store.query(path, from, to);
     if (slice.empty()) continue;
     SensorSnapshot s;

@@ -39,7 +39,10 @@ PueReport compute_pue(const telemetry::TimeSeriesStore& store, TimePoint from,
   PueReport report;
   std::size_t usable = 0;
   const auto usable_kwh = [&](const std::string& path) {
-    if (health != nullptr && !health->usable(path)) return 0.0;
+    if (health != nullptr && !health->usable(path)) {
+      ODA_TRACE_INSTANT_CAT("analytics.quarantine_skip", "analytics");
+      return 0.0;
+    }
     ++usable;
     return integrate_kwh(store, path, from, to);
   };
@@ -121,6 +124,7 @@ double compute_utilization(const telemetry::TimeSeriesStore& store,
                            TimePoint from, TimePoint to,
                            const telemetry::SensorHealthTracker* health) {
   if (health != nullptr && !health->usable("scheduler/utilization")) {
+    ODA_TRACE_INSTANT_CAT("analytics.quarantine_skip", "analytics");
     return std::numeric_limits<double>::quiet_NaN();
   }
   const auto slice = store.query("scheduler/utilization", from, to);
@@ -136,7 +140,10 @@ SieReport compute_sie(const telemetry::TimeSeriesStore& store,
   std::vector<std::string> used;
   used.reserve(sensors.size());
   for (const auto& path : sensors) {
-    if (health != nullptr && !health->usable(path)) continue;
+    if (health != nullptr && !health->usable(path)) {
+      ODA_TRACE_INSTANT_CAT("analytics.quarantine_skip", "analytics");
+      continue;
+    }
     used.push_back(path);
   }
   report.sensors_used = used.size();

@@ -12,6 +12,13 @@
 #include <vector>
 
 #include "common/blocking_queue.hpp"
+#include "common/trace_context.hpp"
+
+// Defined PUBLIC on oda_common by CMake; default on so bare compiles of this
+// header (lint self-contained check) see the full code path.
+#ifndef ODA_TRACING_ENABLED
+#define ODA_TRACING_ENABLED 1
+#endif
 
 namespace oda {
 
@@ -57,7 +64,17 @@ class ThreadPool {
     pending_.fetch_add(1, std::memory_order_relaxed);
     // relaxed: statistics counter (see submitted_count()).
     submitted_.fetch_add(1, std::memory_order_relaxed);
+#if ODA_TRACING_ENABLED
+    // Capture the submitter's trace context so spans opened inside the task
+    // stay children of the span that submitted it (causal tracing across the
+    // pool boundary). Costs one thread-local read + a 16-byte copy.
+    const bool accepted = tasks_.push([task, ctx = current_trace_context()] {
+      TraceContextScope trace_scope(ctx);
+      (*task)();
+    });
+#else
     const bool accepted = tasks_.push([task] { (*task)(); });
+#endif
     if (!accepted) {
       // Pool already shut down: run inline so the future is still satisfied.
       // relaxed: statistics counter (see rejected_count()).

@@ -1,0 +1,53 @@
+// Trace-context propagation primitives shared by every layer: a 64-bit
+// (trace id, span id) pair carried in a thread-local slot. The slot is
+// written by obs::TraceSpan on scope entry and read at async boundaries —
+// ThreadPool::submit captures the submitter's context and restores it in
+// the worker so child spans keep their causal parent across threads. This
+// lives in common/ (not obs/) because ThreadPool sits below obs in the
+// dependency stack.
+#pragma once
+
+#include <cstdint>
+
+namespace oda {
+
+/// The identity of the currently-executing span. trace_id groups every
+/// span of one causal chain (e.g. a full collect pass); span_id names the
+/// innermost open span. {0, 0} means "no active trace".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool active() const noexcept { return trace_id != 0; }
+};
+
+/// Returns the calling thread's active context ({} when none).
+TraceContext current_trace_context() noexcept;
+
+/// Installs ctx as the calling thread's context and returns the previous
+/// one. Callers are expected to restore the previous value (see
+/// TraceContextScope) — contexts nest, they do not leak.
+TraceContext exchange_trace_context(TraceContext ctx) noexcept;
+
+/// Mints a process-unique nonzero 64-bit id (mixed so ids are spread over
+/// the full word even though the source is a counter). Used for both trace
+/// and span ids.
+std::uint64_t next_trace_id() noexcept;
+
+/// RAII: installs a context for the current scope and restores the previous
+/// one on exit. Async boundaries use it to adopt a captured context inside
+/// the borrowed thread.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx) noexcept
+      : prev_(exchange_trace_context(ctx)) {}
+  ~TraceContextScope() { exchange_trace_context(prev_); }
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+}  // namespace oda

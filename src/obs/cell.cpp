@@ -19,17 +19,16 @@ CellScope::CellScope(const char* pillar, const char* type,
       seconds_(MetricsRegistry::global().histogram(
           kSecondsName, kSecondsHelp, default_latency_bounds(),
           {{"pillar", pillar}, {"type", type}})),
-      capability_(capability),
+      span_(capability, "analytics"),
       start_us_(Tracer::global().now_us()) {}
 
 CellScope::~CellScope() {
   const std::uint64_t end_us = Tracer::global().now_us();
   runs_.inc();
+  // Observed before span_ closes (members destroy in reverse order), so the
+  // exemplar recorded for oda_analytics_run_seconds links to this cell's
+  // own span id's trace.
   seconds_.observe(static_cast<double>(end_us - start_us_) * 1e-6);
-  if (Tracer::global().enabled()) {
-    Tracer::global().record(capability_, "analytics", start_us_,
-                            end_us - start_us_);
-  }
 }
 
 }  // namespace oda::obs

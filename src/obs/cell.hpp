@@ -33,7 +33,11 @@ class CellScope {
  private:
   Counter& runs_;
   Histogram& seconds_;
-  const char* capability_;
+  // The span joins the thread's active trace (bus delivery, collect pass)
+  // so analytics cells appear as children in the causal tree. Declared
+  // before start_us_ so ~CellScope's observe() runs while the span — and
+  // therefore the trace context feeding histogram exemplars — is still open.
+  TraceSpan span_;
   std::uint64_t start_us_;
 };
 

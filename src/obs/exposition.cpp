@@ -7,6 +7,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/trace.hpp"
+
 namespace oda::obs {
 
 namespace {
@@ -39,11 +41,13 @@ void append_label_block(std::string& out, const LabelSet& labels,
 void append_sample(std::string& out, const std::string& name,
                    const LabelSet& labels, double value,
                    const std::string& extra_key = "",
-                   const std::string& extra_value = "") {
+                   const std::string& extra_value = "",
+                   const std::string& exemplar_suffix = "") {
   out += name;
   append_label_block(out, labels, extra_key, extra_value);
   out += ' ';
   out += format_sample_value(value);
+  out += exemplar_suffix;  // OpenMetrics " # {trace_id=\"..\"} value" or ""
   out += '\n';
 }
 
@@ -159,16 +163,33 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
       append_sample(out, fam.name, v.labels, v.value);
     }
     for (const auto& h : fam.histograms) {
+      // The exemplar (if any) rides on the smallest bucket that contains
+      // its value, in OpenMetrics syntax: `... # {trace_id="<hex>"} value`.
+      const bool has_exemplar = h.exemplar_trace_id != 0;
+      std::size_t exemplar_bucket = h.bounds.size();  // +Inf by default
+      std::string exemplar;
+      if (has_exemplar) {
+        for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+          if (h.exemplar_value <= h.bounds[b]) {
+            exemplar_bucket = b;
+            break;
+          }
+        }
+        exemplar = " # {trace_id=\"" + trace_id_hex(h.exemplar_trace_id) +
+                   "\"} " + format_sample_value(h.exemplar_value);
+      }
       std::uint64_t cumulative = 0;
       for (std::size_t b = 0; b < h.bounds.size(); ++b) {
         cumulative += h.counts[b];
         append_sample(out, fam.name + "_bucket", h.labels,
                       static_cast<double>(cumulative), "le",
-                      format_sample_value(h.bounds[b]));
+                      format_sample_value(h.bounds[b]),
+                      b == exemplar_bucket ? exemplar : "");
       }
       // The +Inf bucket is cumulative over everything == the total count.
       append_sample(out, fam.name + "_bucket", h.labels,
-                    static_cast<double>(h.count), "le", "+Inf");
+                    static_cast<double>(h.count), "le", "+Inf",
+                    exemplar_bucket == h.bounds.size() ? exemplar : "");
       append_sample(out, fam.name + "_sum", h.labels, h.sum);
       append_sample(out, fam.name + "_count", h.labels,
                     static_cast<double>(h.count));
@@ -205,8 +226,13 @@ std::string to_json(const MetricsSnapshot& snapshot) {
           if (b != 0) out << ',';
           out << h.counts[b];
         }
-        out << "],\"sum\":" << json_number(h.sum) << ",\"count\":" << h.count
-            << '}';
+        out << "],\"sum\":" << json_number(h.sum) << ",\"count\":" << h.count;
+        if (h.exemplar_trace_id != 0) {
+          out << ",\"exemplar\":{\"value\":" << json_number(h.exemplar_value)
+              << ",\"trace_id\":\"" << trace_id_hex(h.exemplar_trace_id)
+              << "\"}";
+        }
+        out << '}';
       }
       out << ']';
     } else {

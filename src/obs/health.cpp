@@ -1,10 +1,13 @@
 #include "obs/health.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <map>
 
+#include "common/log.hpp"
 #include "common/table.hpp"
+#include "obs/recorder.hpp"
 
 namespace oda::obs {
 
@@ -34,6 +37,20 @@ const std::string* label_value(const LabelSet& labels, const std::string& key) {
     if (k == key) return &v;
   }
   return nullptr;
+}
+
+/// Sums the series of `family` whose label set contains key == value.
+/// Returns -1.0 when the family is absent entirely (degrade to "(no data)").
+double labelled_total(const MetricsSnapshot& snap, const std::string& family,
+                      const std::string& key, const std::string& value) {
+  const MetricFamily* fam = snap.find(family);
+  if (fam == nullptr) return -1.0;
+  double total = 0.0;
+  for (const auto& v : fam->values) {
+    const std::string* got = label_value(v.labels, key);
+    if (got != nullptr && *got == value) total += v.value;
+  }
+  return total;
 }
 
 HealthCheck zero_is_healthy(const MetricsSnapshot& snap,
@@ -106,6 +123,64 @@ PipelineHealthReport assess_pipeline_health(const MetricsSnapshot& snap) {
   }
 
   {
+    // Open circuit breakers mean sensors are actively being skipped
+    // (docs/RESILIENCE.md); any nonzero count degrades the pipeline.
+    HealthCheck check;
+    check.name = "collector.breakers";
+    const MetricFamily* fam = snap.find("oda_collector_breakers_open");
+    if (fam == nullptr || fam->values.empty()) {
+      check.ok = true;
+      check.detail = "(no data)";
+    } else {
+      const double open = snap.total("oda_collector_breakers_open");
+      check.ok = open == 0.0;
+      check.detail = fmt("%.0f sensors behind an open breaker", open);
+    }
+    report.checks.push_back(std::move(check));
+  }
+
+  {
+    // Quarantined sensors are excluded from analytics; surface how many.
+    HealthCheck check;
+    check.name = "sensors.quarantined";
+    const double quarantined =
+        labelled_total(snap, "oda_health_sensors", "state", "quarantined");
+    if (quarantined < 0.0) {
+      check.ok = true;
+      check.detail = "(no data)";
+    } else {
+      check.ok = quarantined == 0.0;
+      check.detail = fmt("%.0f sensors quarantined", quarantined);
+    }
+    report.checks.push_back(std::move(check));
+  }
+
+  {
+    // Collection gaps growing between two assessments mean reads are being
+    // lost *right now* — a steady historical count is fine, growth is not.
+    // Edge-triggered per process: the baseline is the total seen by the
+    // previous assess_pipeline_health call (first call baselines at 0).
+    HealthCheck check;
+    check.name = "collector.gaps";
+    const MetricFamily* fam = snap.find("oda_collector_gaps_total");
+    if (fam == nullptr) {
+      check.ok = true;
+      check.detail = "(no data)";
+    } else {
+      static std::atomic<double> baseline{0.0};
+      const double total = snap.total("oda_collector_gaps_total");
+      // relaxed: a per-process breadcrumb for the next assessment; no
+      // ordering with any other memory is needed.
+      const double prev = baseline.exchange(total, std::memory_order_relaxed);
+      const double growth = total - prev;
+      check.ok = growth <= 0.0;
+      check.detail = fmt("%.0f new gaps since last assessment ", growth) +
+                     fmt("(%.0f lifetime)", total);
+    }
+    report.checks.push_back(std::move(check));
+  }
+
+  {
     HealthCheck check;
     check.name = "store.memory";
     const MetricFamily* fam = snap.find("oda_store_memory_bytes");
@@ -118,6 +193,23 @@ PipelineHealthReport assess_pipeline_health(const MetricsSnapshot& snap) {
                                                   (1024.0 * 1024.0));
     }
     report.checks.push_back(std::move(check));
+  }
+
+  // Postmortem hook: on the healthy -> unhealthy edge, dump the flight
+  // recorder so the moments leading up to the degradation are preserved
+  // (no-op unless FlightRecorder::set_dump_path was called).
+  static std::atomic<bool> was_unhealthy{false};
+  const bool healthy_now = report.healthy();
+  if (healthy_now) {
+    // relaxed: the edge detector is a per-process breadcrumb, not a lock.
+    was_unhealthy.store(false, std::memory_order_relaxed);
+  } else if (!was_unhealthy.exchange(true, std::memory_order_relaxed)) {
+    FlightRecorder& recorder = FlightRecorder::global();
+    if (!recorder.dump_path().empty()) {
+      ODA_LOG_WARN << "pipeline health degraded; dumping flight recorder to "
+                   << recorder.dump_path();
+      recorder.dump_to_file();
+    }
   }
   return report;
 }
@@ -227,6 +319,26 @@ InstrumentationHandles register_tracer(MetricsRegistry& registry,
   out.handles.push_back(registry.counter_callback(
       "oda_trace_dropped_total", "Spans dropped by a full trace buffer",
       labels, [&tracer] { return static_cast<double>(tracer.dropped()); }));
+  return out;
+}
+
+InstrumentationHandles register_flight_recorder(
+    MetricsRegistry& registry, const FlightRecorder& recorder,
+    const std::string& recorder_label) {
+  InstrumentationHandles out;
+  const LabelSet labels = {{"recorder", recorder_label}};
+  out.handles.push_back(registry.gauge_callback(
+      "oda_flight_events", "Events currently retained in flight-recorder rings",
+      labels,
+      [&recorder] { return static_cast<double>(recorder.event_count()); }));
+  out.handles.push_back(registry.counter_callback(
+      "oda_flight_recorded_total",
+      "Events recorded by the flight recorder since start", labels,
+      [&recorder] { return static_cast<double>(recorder.recorded_total()); }));
+  out.handles.push_back(registry.counter_callback(
+      "oda_flight_dumps_total", "Flight-recorder postmortem dumps written",
+      labels,
+      [&recorder] { return static_cast<double>(recorder.dump_count()); }));
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include "common/spsc_queue.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace oda::obs {
@@ -34,6 +35,12 @@ struct PipelineHealthReport {
 
 /// Evaluates the standard health checks against a snapshot. Checks degrade
 /// gracefully: a check whose metrics are absent reports ok with "(no data)".
+/// Resilience checks added for the failure-aware collector: open circuit
+/// breakers, quarantined sensors, and collection-gap *growth* (the gap
+/// check is edge-triggered per process — it compares against the total seen
+/// by the previous assessment, so a historical count alone stays healthy).
+/// On the healthy -> unhealthy edge the global FlightRecorder is dumped to
+/// its configured dump path (postmortem capture; no-op without a path).
 PipelineHealthReport assess_pipeline_health(const MetricsSnapshot& snapshot);
 
 /// Renders every family as a table: counters/gauges with their summed
@@ -63,6 +70,13 @@ InstrumentationHandles register_thread_pool(MetricsRegistry& registry,
 InstrumentationHandles register_tracer(MetricsRegistry& registry,
                                        const Tracer& tracer,
                                        const std::string& tracer_label);
+
+/// Exports flight-recorder occupancy and dump counters:
+///   oda_flight_events{recorder=}, oda_flight_recorded_total{recorder=},
+///   oda_flight_dumps_total{recorder=}.
+InstrumentationHandles register_flight_recorder(
+    MetricsRegistry& registry, const FlightRecorder& recorder,
+    const std::string& recorder_label);
 
 /// Exports an SpscQueue's depth gauge and reject counter:
 ///   oda_queue_depth{queue=}, oda_queue_rejected_total{queue=}.

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "common/error.hpp"
+#include "common/trace_context.hpp"
 
 namespace oda::obs {
 
@@ -89,6 +90,17 @@ void Histogram::observe(double value) noexcept {
   counts_[bucket].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
+  // Exemplar: remember the trace that produced the most recent extreme
+  // observation so a slow bucket links straight to its causal trace.
+  const TraceContext ctx = current_trace_context();
+  if (ctx.active() &&
+      // relaxed (all three): a debugging breadcrumb — the check-then-store
+      // pair may interleave under concurrent extremes, leaving either
+      // observation's (value, id); both are valid exemplars.
+      value >= exemplar_value_.load(std::memory_order_relaxed)) {
+    exemplar_value_.store(value, std::memory_order_relaxed);
+    exemplar_trace_id_.store(ctx.trace_id, std::memory_order_relaxed);
+  }
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
@@ -294,6 +306,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
         h.counts = inst.histogram->bucket_counts();
         h.sum = inst.histogram->sum();
         h.count = inst.histogram->count();
+        const Histogram::Exemplar ex = inst.histogram->exemplar();
+        if (ex.trace_id != 0) {
+          h.exemplar_value = ex.value;
+          h.exemplar_trace_id = ex.trace_id;
+        }
         out.histograms.push_back(std::move(h));
       } else {
         SeriesValue v;

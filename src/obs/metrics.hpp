@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -75,6 +76,22 @@ class Histogram {
 
   void observe(double value) noexcept;
 
+  /// Exemplar (OpenMetrics): the trace id of the most recent extreme
+  /// observation — the running-max value seen while a trace context was
+  /// active on the observing thread. trace_id == 0 means none yet. The
+  /// (value, trace_id) pair is read without a lock, so under concurrent
+  /// extremes it may mix two observations; both fields are still valid
+  /// exemplars of the series, so the link stays useful.
+  struct Exemplar {
+    double value = 0.0;
+    std::uint64_t trace_id = 0;
+  };
+  Exemplar exemplar() const noexcept {
+    // relaxed (both): debugging breadcrumb, no ordering obligations.
+    return {exemplar_value_.load(std::memory_order_relaxed),
+            exemplar_trace_id_.load(std::memory_order_relaxed)};
+  }
+
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) counts; size == bounds().size() + 1.
   std::vector<std::uint64_t> bucket_counts() const;
@@ -92,6 +109,10 @@ class Histogram {
   std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
   std::atomic<double> sum_{0.0};
   std::atomic<std::uint64_t> count_{0};
+  // -inf start so the first traced observation always becomes the exemplar.
+  std::atomic<double> exemplar_value_{
+      -std::numeric_limits<double>::infinity()};
+  std::atomic<std::uint64_t> exemplar_trace_id_{0};
 };
 
 /// Default latency buckets: 1us .. ~65s, doubling.
@@ -115,6 +136,9 @@ struct HistogramValue {
   std::vector<std::uint64_t> counts;  // non-cumulative, bounds.size() + 1
   double sum = 0.0;
   std::uint64_t count = 0;
+  // OpenMetrics exemplar (see Histogram::exemplar); trace_id 0 = none.
+  double exemplar_value = 0.0;
+  std::uint64_t exemplar_trace_id = 0;
 };
 
 struct MetricFamily {

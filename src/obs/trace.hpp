@@ -1,4 +1,4 @@
-// Span tracing for the ODA stack itself: RAII scopes recorded into
+// Causal span tracing for the ODA stack itself: RAII scopes recorded into
 // per-thread buffers and exported as Chrome trace_event JSON, loadable in
 // chrome://tracing or https://ui.perfetto.dev.
 //
@@ -7,18 +7,30 @@
 //     ...
 //   }
 //
+// Every span carries a 64-bit (trace id, span id, parent id) triple. On
+// entry a span reads the thread-local TraceContext (common/trace_context.hpp):
+// if a context is active the span joins that trace as a child; otherwise it
+// roots a new trace. The context propagates across async boundaries —
+// ThreadPool::submit captures it into the task and MessageBus delivery spans
+// nest under the publish — so one collect pass forms a single connected tree
+// from sensor read through bus fan-out, store ingest, and analytics cells.
+// Zero-duration *instant* events (ODA_TRACE_INSTANT) mark point occurrences
+// (a retry, a breaker transition) inside the owning span.
+//
 // Cost model:
-//   * ODA_TRACING=OFF (CMake option): the macro expands to nothing — zero
+//   * ODA_TRACING=OFF (CMake option): the macros expand to nothing — zero
 //     code, zero data, zero overhead. The Tracer class itself still links
 //     so tooling code compiles either way.
-//   * compiled in, Tracer disabled (default): one relaxed atomic load per
-//     scope entry.
-//   * enabled: two steady_clock reads plus an uncontended per-thread mutex
-//     push (the mutex is only contended while a snapshot drains buffers).
+//   * compiled in, Tracer disabled and FlightRecorder disabled: one relaxed
+//     atomic load (of the shared sink mask) per scope entry.
+//   * FlightRecorder only (the default — see obs/recorder.hpp): two
+//     steady-clock reads plus a handful of relaxed stores into a bounded
+//     per-thread ring.
+//   * Tracer enabled: additionally an uncontended per-thread mutex push
+//     (the mutex is only contended while a snapshot drains buffers).
 //
-// Span names must outlive the span (string literals in practice); they are
-// copied into the event on completion, so short names stay allocation-free
-// via SSO.
+// Span names must outlive the span (string literals in practice); the flight
+// recorder retains them as raw pointers, so literals are mandatory there.
 #pragma once
 
 #include <atomic>
@@ -29,19 +41,58 @@
 #include <string>
 #include <vector>
 
+#include "common/trace_context.hpp"
+
 #ifndef ODA_TRACING_ENABLED
 #define ODA_TRACING_ENABLED 1
 #endif
 
 namespace oda::obs {
 
-struct TraceEvent {
-  std::string name;        // e.g. "collector.collect"
-  std::string category;    // layer: "sim", "telemetry", "analytics", ...
-  std::uint64_t ts_us = 0;   // start, microseconds since tracer epoch
-  std::uint64_t dur_us = 0;  // duration in microseconds
-  std::uint32_t tid = 0;     // tracer-assigned thread index
+enum class TraceEventKind : std::uint8_t {
+  kSpan = 0,     // Chrome "X": has a duration
+  kInstant = 1,  // Chrome "i": zero-duration point event
 };
+
+struct TraceEvent {
+  std::string name;          // e.g. "collector.collect"
+  std::string category;      // layer: "sim", "telemetry", "analytics", ...
+  std::uint64_t ts_us = 0;   // start, microseconds since tracer epoch
+  std::uint64_t dur_us = 0;  // duration in microseconds (0 for instants)
+  std::uint32_t tid = 0;     // tracer-assigned thread index
+  TraceEventKind kind = TraceEventKind::kSpan;
+  std::uint64_t trace_id = 0;   // causal chain id; 0 = untraced event
+  std::uint64_t span_id = 0;    // this event's own id
+  std::uint64_t parent_id = 0;  // enclosing span's id; 0 = trace root
+};
+
+namespace detail {
+
+// Shared sink mask read by every span/instant entry: bit 0 = the global
+// Tracer is enabled, bit 1 = the global FlightRecorder is enabled. One
+// relaxed load of this word is the entire cost of a span when both are off.
+inline constexpr unsigned kTraceModeTracer = 1u;
+inline constexpr unsigned kTraceModeRecorder = 2u;
+extern std::atomic<unsigned> g_trace_mode;
+
+/// Out-of-line slow paths (trace.cpp): dispatch a finished span / an
+/// instant to whichever sinks `mode` has armed.
+void finish_span(const char* name, const char* category,
+                 std::uint64_t start_us, TraceContext ctx,
+                 std::uint64_t parent_span_id, unsigned mode);
+void emit_instant(const char* name, const char* category, unsigned mode);
+
+}  // namespace detail
+
+/// Renders events as Chrome trace_event JSON: "X" complete events and "i"
+/// instants, each carrying args.{trace_id,span_id,parent_id} as 16-char hex
+/// strings when the event belongs to a trace, plus "s"/"f" flow-event pairs
+/// binding every cross-thread parent->child edge so Perfetto draws the
+/// causality arrows. Names and categories are fully JSON-escaped.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+/// 16-char lowercase hex rendering of a trace/span id.
+std::string trace_id_hex(std::uint64_t id);
 
 class Tracer {
  public:
@@ -54,7 +105,8 @@ class Tracer {
   static Tracer& global();
 
   /// Recording is off by default; spans taken while disabled cost one
-  /// relaxed atomic load and record nothing.
+  /// relaxed atomic load and record nothing (unless the always-on flight
+  /// recorder picks them up — see obs/recorder.hpp).
   void set_enabled(bool enabled);
   bool enabled() const {
     // relaxed: an independent on/off flag; a span may see a toggle late,
@@ -73,9 +125,14 @@ class Tracer {
   /// Microseconds since this tracer was constructed (the trace epoch).
   std::uint64_t now_us() const;
 
-  /// Records a completed span. Usually called via ODA_TRACE_SPAN.
+  /// Records a completed span or instant. Usually called via the
+  /// ODA_TRACE_* macros; the id triple defaults to 0 (untraced) so callers
+  /// that predate causal tracing keep working.
   void record(const char* name, const char* category, std::uint64_t ts_us,
-              std::uint64_t dur_us);
+              std::uint64_t dur_us,
+              TraceEventKind kind = TraceEventKind::kSpan,
+              std::uint64_t trace_id = 0, std::uint64_t span_id = 0,
+              std::uint64_t parent_id = 0);
 
   /// Copies every retained event (all threads), ordered by start time.
   std::vector<TraceEvent> events() const;
@@ -83,7 +140,7 @@ class Tracer {
   /// Discards retained events and resets the drop counter.
   void clear();
 
-  /// Chrome trace_event JSON ("traceEvents" array of complete "X" events).
+  /// Chrome trace_event JSON for every retained event (chrome_trace_json).
   std::string to_chrome_json() const;
 
  private:
@@ -106,33 +163,50 @@ class Tracer {
   std::uint32_t next_tid_ = 1;
 };
 
-/// RAII span: measures construction-to-destruction and records it into
-/// Tracer::global(). Prefer the ODA_TRACE_SPAN macro, which compiles out.
+/// RAII causal span: on entry joins the thread's active trace (or roots a
+/// new one), installs itself as the current context, and on exit restores
+/// the parent and records into whichever sinks are armed. Prefer the
+/// ODA_TRACE_SPAN macro, which compiles out under ODA_TRACING=OFF.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* category = "oda")
       : name_(name), category_(category) {
-    Tracer& tracer = Tracer::global();
-    if (tracer.enabled()) {
-      armed_ = true;
-      start_us_ = tracer.now_us();
-    }
+    // relaxed: an advisory sink mask; a late-observed toggle only means one
+    // more or fewer event — no data is guarded by it.
+    const unsigned mode = detail::g_trace_mode.load(std::memory_order_relaxed);
+    if (mode == 0) return;  // the disabled hot path: exactly this one load
+    mode_ = mode;
+    start_us_ = Tracer::global().now_us();
+    parent_ = current_trace_context();
+    ctx_.trace_id = parent_.active() ? parent_.trace_id : next_trace_id();
+    ctx_.span_id = next_trace_id();
+    exchange_trace_context(ctx_);
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
   ~TraceSpan() {
-    if (armed_) {
-      Tracer& tracer = Tracer::global();
-      tracer.record(name_, category_, start_us_, tracer.now_us() - start_us_);
-    }
+    if (mode_ == 0) return;
+    exchange_trace_context(parent_);
+    detail::finish_span(name_, category_, start_us_, ctx_, parent_.span_id,
+                        mode_);
   }
 
  private:
   const char* name_;
   const char* category_;
   std::uint64_t start_us_ = 0;
-  bool armed_ = false;
+  unsigned mode_ = 0;
+  TraceContext parent_;
+  TraceContext ctx_;
 };
+
+/// Records a zero-duration instant event under the current span (trace ids
+/// inherited from the thread's context). Prefer the ODA_TRACE_INSTANT macro.
+inline void trace_instant(const char* name, const char* category) {
+  // relaxed: see TraceSpan — advisory sink mask.
+  const unsigned mode = detail::g_trace_mode.load(std::memory_order_relaxed);
+  if (mode != 0) detail::emit_instant(name, category, mode);
+}
 
 }  // namespace oda::obs
 
@@ -145,8 +219,13 @@ class TraceSpan {
 #define ODA_TRACE_SPAN_CAT(name, category)                 \
   ::oda::obs::TraceSpan ODA_TRACE_CONCAT(oda_trace_span_, \
                                          __LINE__)((name), (category))
+/// Marks a point occurrence (retry, state flip) inside the current span.
+#define ODA_TRACE_INSTANT_CAT(name, category) \
+  ::oda::obs::trace_instant((name), (category))
 #else
 #define ODA_TRACE_SPAN_CAT(name, category) static_cast<void>(0)
+#define ODA_TRACE_INSTANT_CAT(name, category) static_cast<void>(0)
 #endif
 
 #define ODA_TRACE_SPAN(name) ODA_TRACE_SPAN_CAT(name, "oda")
+#define ODA_TRACE_INSTANT(name) ODA_TRACE_INSTANT_CAT(name, "oda")

@@ -114,6 +114,9 @@ void MessageBus::publish(const Reading& reading) {
   const double slow_threshold = slow_threshold_s_.load(std::memory_order_relaxed);
   double publish_seconds = 0.0;
   for (const auto& t : targets) {
+    // Child of the publish span (same-thread nesting), so each subscriber's
+    // work hangs off the publish in the causal trace.
+    ODA_TRACE_SPAN_CAT("bus.deliver", "bus");
     const Clock::time_point t0 = Clock::now();
     t->callback(reading);
     const auto elapsed_ns = static_cast<std::uint64_t>(

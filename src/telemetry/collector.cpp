@@ -112,6 +112,19 @@ void Collector::transition_breaker(Breaker& breaker, BreakerState to,
   }
   breaker.state = to;
   breaker_transitions_[static_cast<int>(to)]->inc();
+  // Zero-duration marks inside the owning read span: breaker state flips
+  // show up exactly where they happened in the causal trace.
+  switch (to) {
+    case BreakerState::kOpen:
+      ODA_TRACE_INSTANT_CAT("collector.breaker_open", "collector");
+      break;
+    case BreakerState::kHalfOpen:
+      ODA_TRACE_INSTANT_CAT("collector.breaker_half_open", "collector");
+      break;
+    case BreakerState::kClosed:
+      ODA_TRACE_INSTANT_CAT("collector.breaker_close", "collector");
+      break;
+  }
 }
 
 void Collector::on_read_success(Breaker& breaker, TimePoint now) {
@@ -141,11 +154,13 @@ void Collector::on_read_failure(Breaker& breaker, TimePoint now) {
 Collector::SlotResult Collector::attempt_read(const std::string& path,
                                               SeriesId id, TimePoint now,
                                               Rng* value_rng, Rng& aux_rng) {
+  ODA_TRACE_SPAN_CAT("collector.read_sensor", "collector");
   SlotResult slot;
   Breaker& breaker = breakers_.find(id.value)->second;
 
   if (breaker.state == BreakerState::kOpen) {
     if (now - breaker.opened_at < breaker_.open_cooldown) {
+      ODA_TRACE_INSTANT_CAT("collector.breaker_skip", "collector");
       slot.outcome = ReadOutcome::kBreakerOpen;
       return slot;
     }
@@ -180,6 +195,7 @@ Collector::SlotResult Collector::attempt_read(const std::string& path,
       break;
     }
     ++slot.retries;
+    ODA_TRACE_INSTANT_CAT("collector.retry", "collector");
   }
   on_read_failure(breaker, now);
   return slot;
@@ -187,6 +203,9 @@ Collector::SlotResult Collector::attempt_read(const std::string& path,
 
 void Collector::read_group(const Group& group, TimePoint now,
                            std::vector<SlotResult>& slots) {
+  // Child of the collect() pass root; chunk spans below nest under this one
+  // across the pool boundary via the context captured by submit().
+  ODA_TRACE_SPAN_CAT("collector.read_group", "collector");
   const std::size_t n = group.sensor_paths.size();
   if (pool_ != nullptr && n >= 64) {
     // Genuinely parallel reads: each chunk owns a split of overlay_rng_, so
@@ -204,6 +223,7 @@ void Collector::read_group(const Group& group, TimePoint now,
       futures.push_back(pool_->submit(
           [this, &group, &slots, lo, hi, now,
            rng = overlay_rng_.split(lo)]() mutable {
+            ODA_TRACE_SPAN_CAT("collector.read_chunk", "collector");
             for (std::size_t i = lo; i < hi; ++i) {
               slots[i] = attempt_read(group.sensor_paths[i],
                                       group.sensor_ids[i], now, &rng, rng);

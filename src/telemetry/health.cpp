@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "common/string_util.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace oda::telemetry {
 
@@ -187,9 +188,13 @@ void SensorHealthTracker::transition_locked(SeriesHealth& s, SensorState to,
   transition_counters_[static_cast<int>(to)]->inc();
   update_gauges_locked();
   if (to == SensorState::kQuarantined) {
+    // Instant under whichever span noticed the evidence (collector pass or
+    // direct record_* caller) — quarantine onset lands in the causal trace.
+    ODA_TRACE_INSTANT_CAT("health.quarantine", "telemetry");
     ODA_LOG_WARN << "sensor quarantined: " << s.path << " (was "
                  << sensor_state_name(from) << ")";
   } else if (from == SensorState::kQuarantined) {
+    ODA_TRACE_INSTANT_CAT("health.recover", "telemetry");
     ODA_LOG_INFO << "sensor recovered from quarantine: " << s.path;
   }
   if (bus_ != nullptr &&

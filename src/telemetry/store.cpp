@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace oda::telemetry {
 
@@ -181,6 +182,7 @@ void TimeSeriesStore::insert(const Reading& reading) {
 }
 
 void TimeSeriesStore::insert_batch(std::span<const IdReading> readings) {
+  ODA_TRACE_SPAN_CAT("store.insert_batch", "store");
   StoreMetrics& metrics = StoreMetrics::get();
   metrics.batch_size.observe(static_cast<double>(readings.size()));
   if (readings.empty()) return;
