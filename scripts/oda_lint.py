@@ -13,6 +13,11 @@ lint error):
   atomic-order    every std::atomic access outside src/common/ names an
                   explicit std::memory_order (the concurrency core in
                   src/common/ is exempt: its orders are audited in-place)
+  raw-mutex       no raw std:: synchronization primitives (mutex,
+                  lock_guard, condition_variable, ...) or their headers in
+                  src/ outside src/common/sync.hpp — lock through the
+                  annotated oda::Mutex/MutexLock wrappers so the tsa preset
+                  can check the locking discipline
   cout-in-lib     no std::cout / std::cerr / printf in library code under
                   src/ — route diagnostics through common/log
                   (src/common/log.* is exempt: it is the logging sink)
@@ -40,6 +45,11 @@ ATOMIC_CALL_RE = re.compile(
 NAKED_NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(:]|(?<![\w.])delete\s*(\[\s*\])?\s+?[A-Za-z_(*]")
 COUT_RE = re.compile(r"std::cout|std::cerr|(?<![\w:.])printf\s*\(|(?<![\w.])puts\s*\(")
 CPP_INCLUDE_RE = re.compile(r"#\s*include\s*[\"<][^\">]*\.cpp[\">]")
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|std::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
 
 
 class Finding:
@@ -185,6 +195,12 @@ def lint_file(root: str, rel: str, compiler: str | None,
                 findings.append(Finding(rel, lineno, "naked-new",
                                         "naked new/delete; use an owning container "
                                         "or std::make_unique"))
+        if rel != "src/common/sync.hpp" and RAW_MUTEX_RE.search(line):
+            if not is_allowed(allow, lineno, "raw-mutex", findings, rel):
+                findings.append(Finding(rel, lineno, "raw-mutex",
+                                        "raw std:: synchronization primitive; "
+                                        "use oda::Mutex/MutexLock from "
+                                        "common/sync.hpp (tsa-checked)"))
         if not is_log_impl and COUT_RE.search(line):
             if not is_allowed(allow, lineno, "cout-in-lib", findings, rel):
                 findings.append(Finding(rel, lineno, "cout-in-lib",
@@ -273,7 +289,7 @@ def main() -> int:
 
     for f in sorted(findings, key=lambda f: (f.path, f.line)):
         print(f)
-    checked_rules = 5 + (1 if args.compiler else 0)
+    checked_rules = 6 + (1 if args.compiler else 0)
     print(f"oda_lint: {len(files)} files, {checked_rules} rules, "
           f"{len(findings)} finding(s)")
     return 1 if findings else 0

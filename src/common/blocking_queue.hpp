@@ -3,12 +3,12 @@
 // (task dispatch, alerts); the data plane uses SpscQueue.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "common/sync.hpp"
 
 namespace oda {
 
@@ -23,13 +23,14 @@ class BlockingQueue {
 
   /// Blocks while full. Returns false if the queue was closed.
   bool push(T value) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] {
-      return closed_ || capacity_ == 0 || items_.size() < capacity_;
-    });
-    if (closed_) return false;
-    items_.push_back(std::move(value));
-    lock.unlock();
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && capacity_ != 0 && items_.size() >= capacity_) {
+        not_full_.wait(mu_);
+      }
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -37,7 +38,7 @@ class BlockingQueue {
   /// Non-blocking push; false when full or closed.
   bool try_push(T value) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) {
         ++rejected_;
         return false;
@@ -51,29 +52,33 @@ class BlockingQueue {
   /// try_push calls that returned false (full or closed) — the drop signal
   /// exported by obs::register_blocking_queue.
   std::uint64_t rejected_count() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return rejected_;
   }
 
   /// Blocks while empty. Returns nullopt once closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> value;
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) not_empty_.wait(mu_);
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return value;
   }
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::unique_lock lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    T value = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> value;
+    {
+      MutexLock lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return value;
   }
@@ -81,7 +86,7 @@ class BlockingQueue {
   /// Wakes all waiters; subsequent pushes fail, pops drain remaining items.
   void close() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -89,23 +94,23 @@ class BlockingQueue {
   }
 
   bool closed() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ ODA_GUARDED_BY(mu_);
   std::size_t capacity_;
-  std::uint64_t rejected_ = 0;  // guarded by mu_
-  bool closed_ = false;
+  std::uint64_t rejected_ ODA_GUARDED_BY(mu_) = 0;
+  bool closed_ ODA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace oda

@@ -4,14 +4,17 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace oda {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_sink_mu;
-Log::Sink g_sink;  // guarded by g_sink_mu
+// The innermost lock in the hierarchy: logging happens under every other
+// subsystem's lock, so nothing may be acquired while holding it.
+Mutex g_sink_mu ODA_ACQUIRED_AFTER(lock_order::log);
+Log::Sink g_sink ODA_GUARDED_BY(g_sink_mu);
 
 /// Formats the current wall-clock time as "2026-08-07T14:03:11" into `out`
 /// (must hold >= 20 bytes). Seconds resolution keeps the default sink cheap
@@ -50,7 +53,7 @@ void Log::set_level(LogLevel level) {
 LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 
 void Log::set_sink(Sink sink) {
-  std::lock_guard lock(g_sink_mu);
+  MutexLock lock(g_sink_mu);
   g_sink = std::move(sink);
 }
 
@@ -65,7 +68,7 @@ std::size_t Log::thread_id() {
 
 void Log::write(LogLevel level, const std::string& message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
-  std::lock_guard lock(g_sink_mu);
+  MutexLock lock(g_sink_mu);
   if (g_sink) {
     g_sink(level, message);
   } else {
@@ -78,7 +81,7 @@ void Log::write(LogLevel level, const std::string& message) {
 
 CaptureSink::CaptureSink(std::size_t capacity) : entries_(capacity) {
   Log::set_sink([this](LogLevel level, const std::string& message) {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     entries_.push(Entry{level, message});
   });
 }
@@ -86,7 +89,7 @@ CaptureSink::CaptureSink(std::size_t capacity) : entries_(capacity) {
 CaptureSink::~CaptureSink() { Log::set_sink(nullptr); }
 
 std::vector<std::string> CaptureSink::lines() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -98,7 +101,7 @@ std::vector<std::string> CaptureSink::lines() const {
 }
 
 bool CaptureSink::contains(const std::string& substring) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].message.find(substring) != std::string::npos) return true;
   }
@@ -106,7 +109,7 @@ bool CaptureSink::contains(const std::string& substring) const {
 }
 
 std::size_t CaptureSink::count(LogLevel level) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::size_t n = 0;
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     if (entries_[i].level == level) ++n;
@@ -115,12 +118,12 @@ std::size_t CaptureSink::count(LogLevel level) const {
 }
 
 std::size_t CaptureSink::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 void CaptureSink::clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
 }
 

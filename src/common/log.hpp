@@ -6,12 +6,12 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/ring_buffer.hpp"
+#include "common/sync.hpp"
 
 namespace oda {
 
@@ -61,8 +61,10 @@ class CaptureSink {
     std::string message;
   };
 
-  mutable std::mutex mu_;
-  RingBuffer<Entry> entries_;
+  /// Log-level leaf lock: taken inside Log::write's sink lock, never
+  /// around any other lock.
+  mutable Mutex mu_;
+  RingBuffer<Entry> entries_ ODA_GUARDED_BY(mu_);
 };
 
 namespace detail {

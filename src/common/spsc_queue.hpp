@@ -1,6 +1,14 @@
 // Bounded lock-free single-producer/single-consumer queue (Lamport-style
 // with C++11 atomics). Used on the hot path between a telemetry producer
 // and its collector thread where a mutex would serialize the pipeline.
+//
+// Thread-safety analysis: deliberately outside the annotated-mutex world of
+// common/sync.hpp (docs/STATIC_ANALYSIS.md). There is no capability here —
+// exclusion is by role (one producer thread owns head_ and slot writes, one
+// consumer thread owns tail_ and slot reads) and the acquire/release index
+// pair is the entire synchronization protocol. That contract is documented
+// per-access below and exercised under TSan; a mutex annotation would
+// misstate it.
 #pragma once
 
 #include <atomic>

@@ -27,7 +27,7 @@ void ThreadPool::task_done() {
   // relaxed: statistics counter (see completed_count()).
   completed_.fetch_add(1, std::memory_order_relaxed);
   if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard lock(idle_mu_);
+    MutexLock lock(idle_mu_);
     idle_cv_.notify_all();
   }
 }
@@ -50,8 +50,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(idle_mu_);
-  idle_cv_.wait(lock, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+  MutexLock lock(idle_mu_);
+  while (pending_.load(std::memory_order_acquire) != 0) idle_cv_.wait(idle_mu_);
 }
 
 void ThreadPool::shutdown() {

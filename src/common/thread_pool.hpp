@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/blocking_queue.hpp"
+#include "common/sync.hpp"
 #include "common/trace_context.hpp"
 
 // Defined PUBLIC on oda_common by CMake; default on so bare compiles of this
@@ -105,8 +106,10 @@ class ThreadPool {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> rejected_{0};
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  /// Leaf lock (unranked): only pairs idle_cv_ with the pending_ == 0 edge;
+  /// no other lock is ever taken while holding it.
+  Mutex idle_mu_;
+  CondVar idle_cv_;
 };
 
 }  // namespace oda

@@ -198,7 +198,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help,
                                   const LabelSet& labels) {
   const LabelSet sorted = sorted_labels(labels);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Family& fam = family_locked(name, help, MetricType::kCounter);
   auto [it, inserted] = fam.series.try_emplace(label_key(sorted));
   if (inserted) {
@@ -211,7 +211,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
                               const LabelSet& labels) {
   const LabelSet sorted = sorted_labels(labels);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Family& fam = family_locked(name, help, MetricType::kGauge);
   auto [it, inserted] = fam.series.try_emplace(label_key(sorted));
   if (inserted) {
@@ -226,7 +226,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds,
                                       const LabelSet& labels) {
   const LabelSet sorted = sorted_labels(labels);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Family& fam = family_locked(name, help, MetricType::kHistogram);
   auto [it, inserted] = fam.series.try_emplace(label_key(sorted));
   if (inserted) {
@@ -250,7 +250,7 @@ CallbackHandle MetricsRegistry::add_callback(const std::string& name,
   validate_metric_name(name);
   ODA_REQUIRE(fn != nullptr, "metric callback must not be null");
   const LabelSet sorted = sorted_labels(labels);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto fam = families_.find(name);
   ODA_REQUIRE(fam == families_.end() || fam->second.type == type,
               "metric family re-registered with a different type: " + name);
@@ -280,7 +280,7 @@ CallbackHandle MetricsRegistry::counter_callback(const std::string& name,
 }
 
 void MetricsRegistry::remove_callback(std::uint64_t id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   callbacks_.erase(std::remove_if(callbacks_.begin(), callbacks_.end(),
                                   [id](const CallbackSeries& cb) {
                                     return cb.id == id;
@@ -289,7 +289,7 @@ void MetricsRegistry::remove_callback(std::uint64_t id) {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   std::map<std::string, std::size_t> index;  // name -> families index
   for (const auto& [name, fam] : families_) {
@@ -344,7 +344,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 std::size_t MetricsRegistry::family_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, bool> names;
   for (const auto& [name, fam] : families_) {
     static_cast<void>(fam);

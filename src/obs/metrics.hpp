@@ -17,10 +17,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace oda::obs {
 
@@ -196,14 +197,15 @@ class MetricsRegistry {
   /// Re-registration with the same name+labels returns the same instrument;
   /// re-registration of a name with a different type throws ContractError.
   Counter& counter(const std::string& name, const std::string& help,
-                   const LabelSet& labels = {});
+                   const LabelSet& labels = {}) ODA_EXCLUDES(mu_);
   Gauge& gauge(const std::string& name, const std::string& help,
-               const LabelSet& labels = {});
+               const LabelSet& labels = {}) ODA_EXCLUDES(mu_);
   Histogram& histogram(const std::string& name, const std::string& help,
-                       std::vector<double> bounds, const LabelSet& labels = {});
+                       std::vector<double> bounds, const LabelSet& labels = {})
+      ODA_EXCLUDES(mu_);
   /// Histogram with default_latency_bounds() — the common latency case.
   Histogram& histogram(const std::string& name, const std::string& help,
-                       const LabelSet& labels = {});
+                       const LabelSet& labels = {}) ODA_EXCLUDES(mu_);
 
   /// Registers a series whose value is computed at snapshot time (pull
   /// model — e.g. a queue depth read from the queue itself). The callback
@@ -218,9 +220,9 @@ class MetricsRegistry {
                                                 const LabelSet& labels,
                                                 std::function<double()> fn);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const ODA_EXCLUDES(mu_);
 
-  std::size_t family_count() const;
+  std::size_t family_count() const ODA_EXCLUDES(mu_);
 
  private:
   struct Instrument {
@@ -244,17 +246,22 @@ class MetricsRegistry {
   };
 
   friend class CallbackHandle;
-  void remove_callback(std::uint64_t id);
+  void remove_callback(std::uint64_t id) ODA_EXCLUDES(mu_);
   Family& family_locked(const std::string& name, const std::string& help,
-                        MetricType type);
+                        MetricType type) ODA_REQUIRES(mu_);
   CallbackHandle add_callback(const std::string& name, const std::string& help,
                               MetricType type, const LabelSet& labels,
-                              std::function<double()> fn);
+                              std::function<double()> fn) ODA_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
-  std::vector<CallbackSeries> callbacks_;
-  std::uint64_t next_callback_id_ = 1;
+  /// Registration-path lock only (instrument hot paths are lock-free
+  /// atomics). Held while snapshot() runs pull callbacks, which therefore
+  /// must not re-enter the registry — but may log or trace (both rank
+  /// below metrics).
+  mutable Mutex mu_ ODA_ACQUIRED_AFTER(lock_order::metrics)
+      ODA_ACQUIRED_BEFORE(lock_order::trace);
+  std::map<std::string, Family> families_ ODA_GUARDED_BY(mu_);
+  std::vector<CallbackSeries> callbacks_ ODA_GUARDED_BY(mu_);
+  std::uint64_t next_callback_id_ ODA_GUARDED_BY(mu_) = 1;
 };
 
 /// Validates a metric name ([a-zA-Z_:][a-zA-Z0-9_:]*); throws ContractError.

@@ -63,7 +63,7 @@ FlightRecorder::Ring& FlightRecorder::local_ring() {
   }
   auto ring = std::make_shared<Ring>(ring_capacity_);
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     ring->tid = next_tid_++;
     rings_.push_back(ring);
   }
@@ -109,7 +109,7 @@ void FlightRecorder::record(const char* name, const char* category,
 std::vector<TraceEvent> FlightRecorder::snapshot() const {
   std::vector<std::shared_ptr<Ring>> rings;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     rings = rings_;
   }
   std::vector<TraceEvent> out;
@@ -167,7 +167,7 @@ std::size_t FlightRecorder::event_count() const { return snapshot().size(); }
 void FlightRecorder::clear() {
   std::vector<std::shared_ptr<Ring>> rings;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     rings = rings_;
   }
   for (const auto& ring : rings) {
@@ -181,12 +181,12 @@ void FlightRecorder::clear() {
 }
 
 void FlightRecorder::set_dump_path(std::string path) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   dump_path_ = std::move(path);
 }
 
 std::string FlightRecorder::dump_path() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return dump_path_;
 }
 

@@ -22,10 +22,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "obs/trace.hpp"
 
 namespace oda::obs {
@@ -115,10 +115,17 @@ class FlightRecorder {
   std::atomic<bool> enabled_{true};
   std::atomic<std::uint64_t> recorded_{0};
   std::atomic<std::uint64_t> dumps_{0};
-  mutable std::mutex mu_;  // guards rings_, dump_path_
-  std::vector<std::shared_ptr<Ring>> rings_;
-  std::uint32_t next_tid_ = 1;
-  std::string dump_path_;
+  // Guards ring registration and the dump path only. The per-slot seqlock
+  // protocol (Slot::seq) deliberately stays outside the annotated-mutex
+  // world: writers are lock-free by design (record() is called from span
+  // destructors on every instrumented thread) and readers detect torn slots
+  // via the sequence word, so there is no capability the analysis could
+  // associate with the payload atomics.
+  mutable Mutex mu_ ODA_ACQUIRED_AFTER(lock_order::trace)
+      ODA_ACQUIRED_BEFORE(lock_order::log);
+  std::vector<std::shared_ptr<Ring>> rings_ ODA_GUARDED_BY(mu_);
+  std::uint32_t next_tid_ ODA_GUARDED_BY(mu_) = 1;
+  std::string dump_path_ ODA_GUARDED_BY(mu_);
 };
 
 }  // namespace oda::obs

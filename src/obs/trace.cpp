@@ -149,7 +149,7 @@ Tracer::ThreadBuffer& Tracer::local_buffer() {
   }
   auto buf = std::make_shared<ThreadBuffer>();
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     buf->tid = next_tid_++;
     buffers_.push_back(buf);
   }
@@ -181,7 +181,7 @@ void Tracer::record(const char* name, const char* category,
   ev.trace_id = trace_id;
   ev.span_id = span_id;
   ev.parent_id = parent_id;
-  std::lock_guard lock(buf.mu);
+  MutexLock lock(buf.mu);
   buf.events.push_back(std::move(ev));
 }
 
@@ -189,11 +189,11 @@ std::vector<TraceEvent> Tracer::events() const {
   std::vector<TraceEvent> out;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     buffers = buffers_;
   }
   for (const auto& buf : buffers) {
-    std::lock_guard lock(buf->mu);
+    MutexLock lock(buf->mu);
     out.insert(out.end(), buf->events.begin(), buf->events.end());
   }
   std::sort(out.begin(), out.end(),
@@ -205,18 +205,18 @@ std::vector<TraceEvent> Tracer::events() const {
 
 std::size_t Tracer::event_count() const {
   std::size_t n = 0;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& buf : buffers_) {
-    std::lock_guard buf_lock(buf->mu);
+    MutexLock buf_lock(buf->mu);
     n += buf->events.size();
   }
   return n;
 }
 
 void Tracer::clear() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& buf : buffers_) {
-    std::lock_guard buf_lock(buf->mu);
+    MutexLock buf_lock(buf->mu);
     buf->events.clear();
   }
   // relaxed: statistics reset; see record().

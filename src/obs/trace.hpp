@@ -37,10 +37,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/trace_context.hpp"
 
 #ifndef ODA_TRACING_ENABLED
@@ -145,12 +145,16 @@ class Tracer {
 
  private:
   struct ThreadBuffer {
-    std::mutex mu;  // guards events; contended only while draining
-    std::vector<TraceEvent> events;
+    /// Trace-level like mu_; the two are taken nested (mu_ then buf->mu in
+    /// event_count/clear) but carry no mutual edge — the analysis only
+    /// checks declared pairs, and this intra-subsystem nesting is uniform.
+    Mutex mu ODA_ACQUIRED_AFTER(lock_order::trace)
+        ODA_ACQUIRED_BEFORE(lock_order::log);
+    std::vector<TraceEvent> events ODA_GUARDED_BY(mu);
     std::uint32_t tid = 0;
   };
 
-  ThreadBuffer& local_buffer();
+  ThreadBuffer& local_buffer() ODA_EXCLUDES(mu_);
 
   const std::uint64_t tracer_id_;
   const std::chrono::steady_clock::time_point epoch_;
@@ -158,9 +162,10 @@ class Tracer {
   std::atomic<std::uint64_t> recorded_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::size_t> capacity_{1 << 16};
-  mutable std::mutex mu_;  // guards buffers_
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  std::uint32_t next_tid_ = 1;
+  mutable Mutex mu_ ODA_ACQUIRED_AFTER(lock_order::trace)
+      ODA_ACQUIRED_BEFORE(lock_order::log);  // guards buffers_
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ ODA_GUARDED_BY(mu_);
+  std::uint32_t next_tid_ ODA_GUARDED_BY(mu_) = 1;
 };
 
 /// RAII causal span: on entry joins the thread's active trace (or roots a

@@ -44,17 +44,34 @@ bool is_read_fault(FaultKind k) {
 FaultInjector::FaultInjector(FaultInjector&& other) noexcept
     : events_(std::move(other.events_)),
       activated_(std::move(other.activated_)),
-      hook_(std::move(other.hook_)),
-      stuck_values_(std::move(other.stuck_values_)),
-      stuck_captured_(std::move(other.stuck_captured_)) {}
+      hook_(std::move(other.hook_)) {
+  // Lock the source while stealing its stuck state: a reader still applying
+  // overlays on `other` must not observe half-moved vectors. (The analysis
+  // exempts constructors for *this* object's members; `other`'s guarded
+  // members still require its lock.)
+  MutexLock lock(other.stuck_mu_);
+  stuck_values_ = std::move(other.stuck_values_);
+  stuck_captured_ = std::move(other.stuck_captured_);
+}
 
 FaultInjector& FaultInjector::operator=(FaultInjector&& other) noexcept {
   if (this != &other) {
     events_ = std::move(other.events_);
     activated_ = std::move(other.activated_);
     hook_ = std::move(other.hook_);
-    stuck_values_ = std::move(other.stuck_values_);
-    stuck_captured_ = std::move(other.stuck_captured_);
+    // Two sequential critical sections (never nested, so no ordering edge):
+    // steal the source's stuck state under its lock, then install it under
+    // ours.
+    std::vector<double> values;
+    std::vector<bool> captured;
+    {
+      MutexLock lock(other.stuck_mu_);
+      values = std::move(other.stuck_values_);
+      captured = std::move(other.stuck_captured_);
+    }
+    MutexLock lock(stuck_mu_);
+    stuck_values_ = std::move(values);
+    stuck_captured_ = std::move(captured);
   }
   return *this;
 }
@@ -63,7 +80,7 @@ void FaultInjector::schedule(FaultEvent event) {
   ODA_REQUIRE(event.end > event.start, "fault window must be non-empty");
   events_.push_back(std::move(event));
   activated_.push_back(false);
-  std::lock_guard lock(stuck_mu_);
+  MutexLock lock(stuck_mu_);
   stuck_values_.push_back(0.0);
   stuck_captured_.push_back(false);
 }
@@ -93,14 +110,14 @@ double FaultInjector::apply_sensor_faults(const std::string& path, double raw,
     }
     if (!e.active_at(now)) {
       if (e.kind == FaultKind::kSensorStuck) {
-        std::lock_guard lock(stuck_mu_);
+        MutexLock lock(stuck_mu_);
         stuck_captured_[i] = false;  // re-arm for a later window
       }
       continue;
     }
     switch (e.kind) {
       case FaultKind::kSensorStuck: {
-        std::lock_guard lock(stuck_mu_);
+        MutexLock lock(stuck_mu_);
         if (!stuck_captured_[i]) {
           stuck_values_[i] = value;
           stuck_captured_[i] = true;

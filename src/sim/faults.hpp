@@ -8,11 +8,11 @@
 #pragma once
 
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace oda::sim {
@@ -69,8 +69,10 @@ class FaultInjector {
 
   FaultInjector() = default;
   // Movable so ClusterSimulation stays movable: the stuck-state mutex is not
-  // moved (the destination gets a fresh one). Only safe while no reader is
-  // concurrently applying overlays — trivially true during setup moves.
+  // moved (the destination gets a fresh one), but the source's mutex IS
+  // taken while its stuck state is moved out, so a reader concurrently
+  // applying overlays on the source observes either the full state or the
+  // moved-from empty vectors — never a half-moved vector.
   FaultInjector(FaultInjector&& other) noexcept;
   FaultInjector& operator=(FaultInjector&& other) noexcept;
   FaultInjector(const FaultInjector&) = delete;
@@ -114,10 +116,11 @@ class FaultInjector {
   ComponentHook hook_;
   // Per stuck-fault frozen value, keyed by event index (lazily captured
   // during reads, so guarded for the parallel-collector path; only touched
-  // when a stuck fault targets the path being read).
-  mutable std::mutex stuck_mu_;
-  mutable std::vector<double> stuck_values_;
-  mutable std::vector<bool> stuck_captured_;
+  // when a stuck fault targets the path being read). Leaf lock: nothing is
+  // acquired while it is held, so it carries no lock-order rank.
+  mutable Mutex stuck_mu_;
+  mutable std::vector<double> stuck_values_ ODA_GUARDED_BY(stuck_mu_);
+  mutable std::vector<bool> stuck_captured_ ODA_GUARDED_BY(stuck_mu_);
 };
 
 }  // namespace oda::sim

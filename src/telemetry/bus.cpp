@@ -53,14 +53,14 @@ MessageBus::SubscriptionId MessageBus::subscribe(std::string pattern,
   stats->per_pattern = &obs::MetricsRegistry::global().counter(
       "oda_bus_subscriber_deliveries_total",
       "Deliveries per subscription pattern", {{"pattern", stats->pattern}});
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const SubscriptionId id = next_id_++;
   subs_.push_back({id, std::move(stats)});
   return id;
 }
 
 void MessageBus::unsubscribe(SubscriptionId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   subs_.erase(std::remove_if(subs_.begin(), subs_.end(),
                              [id](const Subscription& s) { return s.id == id; }),
               subs_.end());
@@ -81,7 +81,7 @@ void MessageBus::publish(const Reading& reading) {
   std::vector<std::shared_ptr<SubStats>> targets;
   bool warn_unrouted = false;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& s : subs_) {
       if (glob_match(s.stats->pattern, reading.path)) {
         targets.push_back(s.stats);
@@ -151,12 +151,12 @@ void MessageBus::publish(const std::string& path, TimePoint time, double value) 
 }
 
 std::size_t MessageBus::subscriber_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return subs_.size();
 }
 
 std::vector<SubscriberStats> MessageBus::subscriber_stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SubscriberStats> out;
   out.reserve(subs_.size());
   for (const auto& s : subs_) {

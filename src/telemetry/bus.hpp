@@ -15,10 +15,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "telemetry/sample.hpp"
 
 namespace oda::obs {
@@ -41,14 +41,18 @@ class MessageBus {
   using SubscriptionId = std::uint64_t;
 
   /// Subscribes to all paths matching the glob pattern.
-  SubscriptionId subscribe(std::string pattern, Callback callback);
-  void unsubscribe(SubscriptionId id);
+  SubscriptionId subscribe(std::string pattern, Callback callback)
+      ODA_EXCLUDES(mu_);
+  void unsubscribe(SubscriptionId id) ODA_EXCLUDES(mu_);
 
-  /// Delivers the reading to every matching subscriber.
-  void publish(const Reading& reading);
-  void publish(const std::string& path, TimePoint time, double value);
+  /// Delivers the reading to every matching subscriber. Callbacks run
+  /// outside the bus lock, so they may publish or (un)subscribe
+  /// re-entrantly.
+  void publish(const Reading& reading) ODA_EXCLUDES(mu_);
+  void publish(const std::string& path, TimePoint time, double value)
+      ODA_EXCLUDES(mu_);
 
-  std::size_t subscriber_count() const;
+  std::size_t subscriber_count() const ODA_EXCLUDES(mu_);
   // relaxed: published_/delivered_ are monotonic statistics counters; they
   // synchronize nothing and no other data is published through them.
   std::uint64_t published_count() const {
@@ -77,7 +81,7 @@ class MessageBus {
   }
 
   /// Per-subscription delivery statistics, in subscription order.
-  std::vector<SubscriberStats> subscriber_stats() const;
+  std::vector<SubscriberStats> subscriber_stats() const ODA_EXCLUDES(mu_);
 
  private:
   /// Shared with in-flight publishes so neither unsubscribe() nor a
@@ -99,12 +103,15 @@ class MessageBus {
     std::shared_ptr<SubStats> stats;
   };
 
-  mutable std::mutex mu_;
-  std::vector<Subscription> subs_;
-  SubscriptionId next_id_ = 1;
-  /// Top-level path prefixes already warned about as unrouted (guarded by
-  /// mu_; bounded by the number of distinct prefixes).
-  std::vector<std::string> unrouted_warned_;
+  /// Outermost data-plane lock: publish() nests store/metrics/log work
+  /// under the snapshot taken here (via subscribers), never the reverse.
+  mutable Mutex mu_ ODA_ACQUIRED_AFTER(lock_order::bus)
+      ODA_ACQUIRED_BEFORE(lock_order::health);
+  std::vector<Subscription> subs_ ODA_GUARDED_BY(mu_);
+  SubscriptionId next_id_ ODA_GUARDED_BY(mu_) = 1;
+  /// Top-level path prefixes already warned about as unrouted (bounded by
+  /// the number of distinct prefixes).
+  std::vector<std::string> unrouted_warned_ ODA_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> unrouted_{0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <tuple>
 
 #include "common/log.hpp"
 #include "common/string_util.hpp"
@@ -62,7 +63,10 @@ std::size_t Collector::add_group(CollectorGroup group) {
   for (const auto& path : g.sensor_paths) {
     const SeriesId id = SeriesInterner::global().intern(path);
     g.sensor_ids.push_back(id);
-    breakers_.emplace(id.value, Breaker{});
+    // piecewise: Breaker holds an atomic, so it is neither copyable nor
+    // movable — construct it in place.
+    breakers_.emplace(std::piecewise_construct,
+                      std::forward_as_tuple(id.value), std::forward_as_tuple());
   }
   auto& registry = obs::MetricsRegistry::global();
   g.samples = &registry.counter("oda_collector_samples_total",
@@ -96,13 +100,18 @@ std::size_t Collector::add_all_sensors(Duration period) {
 
 void Collector::transition_breaker(Breaker& breaker, BreakerState to,
                                    TimePoint now) {
-  if (breaker.state == to) return;
+  // relaxed (all breaker.state accesses in this file): one pass-thread owns
+  // each breaker's mutations (see the Breaker declaration); the atomic only
+  // keeps cross-thread breaker_state() observers tear-free, and a late-
+  // observed state there is harmless.
+  const BreakerState from = breaker.state.load(std::memory_order_relaxed);
+  if (from == to) return;
   if (to == BreakerState::kOpen) {
     breaker.opened_at = now;
     breaker.probe_successes = 0;
     // relaxed: statistics gauge (see open_breakers()).
     open_breakers_.fetch_add(1, std::memory_order_relaxed);
-  } else if (breaker.state == BreakerState::kOpen) {
+  } else if (from == BreakerState::kOpen) {
     // relaxed: statistics gauge (see open_breakers()).
     open_breakers_.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -110,7 +119,8 @@ void Collector::transition_breaker(Breaker& breaker, BreakerState to,
     breaker.consecutive_failures = 0;
     breaker.probe_successes = 0;
   }
-  breaker.state = to;
+  // relaxed: see above — single mutating thread per breaker.
+  breaker.state.store(to, std::memory_order_relaxed);
   breaker_transitions_[static_cast<int>(to)]->inc();
   // Zero-duration marks inside the owning read span: breaker state flips
   // show up exactly where they happened in the causal trace.
@@ -128,7 +138,9 @@ void Collector::transition_breaker(Breaker& breaker, BreakerState to,
 }
 
 void Collector::on_read_success(Breaker& breaker, TimePoint now) {
-  if (breaker.state == BreakerState::kHalfOpen) {
+  // relaxed: see transition_breaker — single mutating thread per breaker.
+  if (breaker.state.load(std::memory_order_relaxed) ==
+      BreakerState::kHalfOpen) {
     ++breaker.probe_successes;
     if (breaker.probe_successes >= breaker_.half_open_successes) {
       transition_breaker(breaker, BreakerState::kClosed, now);
@@ -139,13 +151,17 @@ void Collector::on_read_success(Breaker& breaker, TimePoint now) {
 }
 
 void Collector::on_read_failure(Breaker& breaker, TimePoint now) {
-  if (breaker.state == BreakerState::kHalfOpen) {
+  // relaxed: see transition_breaker — single mutating thread per breaker.
+  if (breaker.state.load(std::memory_order_relaxed) ==
+      BreakerState::kHalfOpen) {
     // A failed probe re-opens immediately and restarts the cooldown.
     transition_breaker(breaker, BreakerState::kOpen, now);
     return;
   }
   ++breaker.consecutive_failures;
-  if (breaker.state == BreakerState::kClosed &&
+  // relaxed: see transition_breaker — single mutating thread per breaker.
+  if (breaker.state.load(std::memory_order_relaxed) ==
+          BreakerState::kClosed &&
       breaker.consecutive_failures >= breaker_.failure_threshold) {
     transition_breaker(breaker, BreakerState::kOpen, now);
   }
@@ -158,7 +174,8 @@ Collector::SlotResult Collector::attempt_read(const std::string& path,
   SlotResult slot;
   Breaker& breaker = breakers_.find(id.value)->second;
 
-  if (breaker.state == BreakerState::kOpen) {
+  // relaxed: see transition_breaker — single mutating thread per breaker.
+  if (breaker.state.load(std::memory_order_relaxed) == BreakerState::kOpen) {
     if (now - breaker.opened_at < breaker_.open_cooldown) {
       ODA_TRACE_INSTANT_CAT("collector.breaker_skip", "collector");
       slot.outcome = ReadOutcome::kBreakerOpen;
@@ -187,7 +204,11 @@ Collector::SlotResult Collector::attempt_read(const std::string& path,
       return slot;
     }
     slot.outcome = ReadOutcome::kDropout;
-    if (breaker.state == BreakerState::kHalfOpen) break;  // failed probe
+    // relaxed: see transition_breaker — single mutating thread per breaker.
+    if (breaker.state.load(std::memory_order_relaxed) ==
+        BreakerState::kHalfOpen) {
+      break;  // failed probe
+    }
     if (attempt + 1 >= retry_.max_attempts) break;
     cost_s += retry_backoff_s(retry_, attempt, aux_rng);
     if (cost_s > retry_.read_deadline_s) {
@@ -314,7 +335,10 @@ BreakerState Collector::breaker_state(const std::string& path) const {
   const auto id = SeriesInterner::global().lookup(path);
   if (!id.has_value()) return BreakerState::kClosed;
   const auto it = breakers_.find(id->value);
-  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
+  if (it == breakers_.end()) return BreakerState::kClosed;
+  // relaxed: tear-free observation of a state another thread may be
+  // transitioning mid-pass; any recent value is an acceptable answer.
+  return it->second.state.load(std::memory_order_relaxed);
 }
 
 }  // namespace oda::telemetry

@@ -143,10 +143,12 @@ class Collector {
 
   /// Per-sensor breaker. Entries are created in add_group() and the map is
   /// never mutated during collect(); each sensor belongs to exactly one
-  /// chunk of one group pass, so its entry is only touched by one thread at
-  /// a time (pass boundaries synchronize via the pool's futures).
+  /// chunk of one group pass, so its entry is only mutated by one thread at
+  /// a time (pass boundaries synchronize via the pool's futures). `state`
+  /// is additionally atomic because breaker_state() observes it from
+  /// arbitrary threads while a parallel pass is transitioning it.
   struct Breaker {
-    BreakerState state = BreakerState::kClosed;
+    std::atomic<BreakerState> state{BreakerState::kClosed};
     int consecutive_failures = 0;
     int probe_successes = 0;
     TimePoint opened_at = 0;

@@ -46,7 +46,7 @@ SensorHealthTracker::SensorHealthTracker(HealthPolicy policy, MessageBus* bus)
 
 void SensorHealthTracker::set_range(const std::string& pattern, double lo,
                                     double hi) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ranges_.push_back({pattern, lo, hi});
   // Ranges registered after a series was first seen should still apply.
   for (auto& [id, s] : series_) s.range_resolved = false;
@@ -93,49 +93,59 @@ double SensorHealthTracker::failure_rate_locked(const SeriesHealth& s) const {
 
 void SensorHealthTracker::record_success(SeriesId id, const std::string& path,
                                          TimePoint now, double value) {
-  std::lock_guard lock(mu_);
-  SeriesHealth& s = series_locked(id, path);
-  push_outcome_locked(s, /*failure=*/false);
-  s.last_success = now;
+  std::vector<Reading> pending;
+  {
+    MutexLock lock(mu_);
+    SeriesHealth& s = series_locked(id, path);
+    push_outcome_locked(s, /*failure=*/false);
+    s.last_success = now;
 
-  const bool in_range =
-      !s.has_range || (value >= s.range_lo && value <= s.range_hi);
-  if (in_range) {
-    s.oor_run = 0;
-  } else {
-    ++s.oor_run;
-  }
-
-  if (s.has_value) {
-    if (value == s.last_value) {
-      ++s.flat_run;
+    const bool in_range =
+        !s.has_range || (value >= s.range_lo && value <= s.range_hi);
+    if (in_range) {
+      s.oor_run = 0;
     } else {
-      s.has_varied = true;
-      s.flat_run = 0;
+      ++s.oor_run;
     }
-  }
-  s.last_value = value;
-  s.has_value = true;
 
-  const bool flat_suspect = policy_.flatline_run > 0 && s.has_varied &&
-                            s.flat_run >= policy_.flatline_run;
-  if (in_range && !flat_suspect) {
-    ++s.clean_run;
-  } else {
-    s.clean_run = 0;
-  }
+    if (s.has_value) {
+      if (value == s.last_value) {
+        ++s.flat_run;
+      } else {
+        s.has_varied = true;
+        s.flat_run = 0;
+      }
+    }
+    s.last_value = value;
+    s.has_value = true;
 
-  reevaluate_locked(s, now);
+    const bool flat_suspect = policy_.flatline_run > 0 && s.has_varied &&
+                              s.flat_run >= policy_.flatline_run;
+    if (in_range && !flat_suspect) {
+      ++s.clean_run;
+    } else {
+      s.clean_run = 0;
+    }
+
+    reevaluate_locked(s, now);
+    pending.swap(pending_publish_);
+  }
+  flush_publishes(pending);
 }
 
 void SensorHealthTracker::record_failure(SeriesId id, const std::string& path,
                                          TimePoint now, ReadOutcome reason) {
   (void)reason;  // per-reason accounting lives in the collector's metrics
-  std::lock_guard lock(mu_);
-  SeriesHealth& s = series_locked(id, path);
-  push_outcome_locked(s, /*failure=*/true);
-  s.clean_run = 0;
-  reevaluate_locked(s, now);
+  std::vector<Reading> pending;
+  {
+    MutexLock lock(mu_);
+    SeriesHealth& s = series_locked(id, path);
+    push_outcome_locked(s, /*failure=*/true);
+    s.clean_run = 0;
+    reevaluate_locked(s, now);
+    pending.swap(pending_publish_);
+  }
+  flush_publishes(pending);
 }
 
 void SensorHealthTracker::reevaluate_locked(SeriesHealth& s, TimePoint now) {
@@ -199,9 +209,19 @@ void SensorHealthTracker::transition_locked(SeriesHealth& s, SensorState to,
   }
   if (bus_ != nullptr &&
       (to == SensorState::kQuarantined || from == SensorState::kQuarantined)) {
-    bus_->publish(Reading{"_health/" + s.path,
-                          {now, static_cast<double>(static_cast<int>(to))}});
+    // Queued, not published: bus_->publish() under mu_ would invert the
+    // bus -> health lock order, and a subscriber querying this tracker from
+    // its callback would self-deadlock on the non-recursive mutex. The
+    // public entry points drain the queue once mu_ is released.
+    pending_publish_.push_back(
+        Reading{"_health/" + s.path,
+                {now, static_cast<double>(static_cast<int>(to))}});
   }
+}
+
+void SensorHealthTracker::flush_publishes(std::vector<Reading>& pending) {
+  for (const Reading& r : pending) bus_->publish(r);
+  pending.clear();
 }
 
 void SensorHealthTracker::update_gauges_locked() {
@@ -216,17 +236,22 @@ void SensorHealthTracker::update_gauges_locked() {
 
 void SensorHealthTracker::step(TimePoint now) {
   if (policy_.staleness <= 0) return;
-  std::lock_guard lock(mu_);
-  for (auto& [id, s] : series_) {
-    if (s.state != SensorState::kQuarantined && s.last_success != kTimeMin &&
-        now - s.last_success > policy_.staleness) {
-      transition_locked(s, SensorState::kQuarantined, now);
+  std::vector<Reading> pending;
+  {
+    MutexLock lock(mu_);
+    for (auto& [id, s] : series_) {
+      if (s.state != SensorState::kQuarantined && s.last_success != kTimeMin &&
+          now - s.last_success > policy_.staleness) {
+        transition_locked(s, SensorState::kQuarantined, now);
+      }
     }
+    pending.swap(pending_publish_);
   }
+  flush_publishes(pending);
 }
 
 SensorState SensorHealthTracker::state(SeriesId id) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = series_.find(id.value);
   return it == series_.end() ? SensorState::kHealthy : it->second.state;
 }
@@ -246,7 +271,7 @@ bool SensorHealthTracker::usable(const std::string& path) const {
 }
 
 std::vector<std::string> SensorHealthTracker::quarantined() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   for (const auto& [id, s] : series_) {
     if (s.state == SensorState::kQuarantined) out.push_back(s.path);
@@ -256,7 +281,7 @@ std::vector<std::string> SensorHealthTracker::quarantined() const {
 }
 
 SensorHealthTracker::Counts SensorHealthTracker::counts() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   Counts c;
   for (const auto& [id, s] : series_) {
     switch (s.state) {
@@ -270,7 +295,7 @@ SensorHealthTracker::Counts SensorHealthTracker::counts() const {
 }
 
 std::uint64_t SensorHealthTracker::transitions() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return transitions_;
 }
 

@@ -13,11 +13,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 #include "telemetry/bus.hpp"
 #include "telemetry/series_id.hpp"
@@ -75,29 +75,32 @@ class SensorHealthTracker {
 
   /// Registers a plausible-range heuristic for sensors matching the glob
   /// pattern (first matching pattern wins, in registration order).
-  void set_range(const std::string& pattern, double lo, double hi);
+  void set_range(const std::string& pattern, double lo, double hi)
+      ODA_EXCLUDES(mu_);
 
   /// Feed one read outcome. The collector calls these once per sensor per
-  /// sampling pass; thread-safe (internally locked).
+  /// sampling pass; thread-safe (internally locked). Bus publishes for any
+  /// resulting quarantine transition happen after the tracker lock is
+  /// released, so a subscriber may query this tracker re-entrantly.
   void record_success(SeriesId id, const std::string& path, TimePoint now,
-                      double value);
+                      double value) ODA_EXCLUDES(mu_);
   void record_failure(SeriesId id, const std::string& path, TimePoint now,
-                      ReadOutcome reason);
+                      ReadOutcome reason) ODA_EXCLUDES(mu_);
 
   /// Staleness sweep — call occasionally (the collector does, once per
   /// collect pass).
-  void step(TimePoint now);
+  void step(TimePoint now) ODA_EXCLUDES(mu_);
 
   // -- quality queries ---------------------------------------------------------
   /// Unknown series report healthy: the tracker is a strict overlay.
-  SensorState state(SeriesId id) const;
-  SensorState state(const std::string& path) const;
+  SensorState state(SeriesId id) const ODA_EXCLUDES(mu_);
+  SensorState state(const std::string& path) const ODA_EXCLUDES(mu_);
   /// True unless the series is quarantined.
-  bool usable(SeriesId id) const;
-  bool usable(const std::string& path) const;
+  bool usable(SeriesId id) const ODA_EXCLUDES(mu_);
+  bool usable(const std::string& path) const ODA_EXCLUDES(mu_);
 
   /// Paths currently quarantined, sorted.
-  std::vector<std::string> quarantined() const;
+  std::vector<std::string> quarantined() const ODA_EXCLUDES(mu_);
 
   struct Counts {
     std::size_t healthy = 0;
@@ -105,10 +108,10 @@ class SensorHealthTracker {
     std::size_t quarantined = 0;
     std::size_t tracked = 0;
   };
-  Counts counts() const;
+  Counts counts() const ODA_EXCLUDES(mu_);
 
   /// Total state transitions observed (for tests/dashboards).
-  std::uint64_t transitions() const;
+  std::uint64_t transitions() const ODA_EXCLUDES(mu_);
 
   const HealthPolicy& policy() const { return policy_; }
 
@@ -139,19 +142,30 @@ class SensorHealthTracker {
     double range_hi = 0.0;
   };
 
-  SeriesHealth& series_locked(SeriesId id, const std::string& path);
-  void push_outcome_locked(SeriesHealth& s, bool failure);
-  double failure_rate_locked(const SeriesHealth& s) const;
-  void reevaluate_locked(SeriesHealth& s, TimePoint now);
-  void transition_locked(SeriesHealth& s, SensorState to, TimePoint now);
-  void update_gauges_locked();
+  SeriesHealth& series_locked(SeriesId id, const std::string& path)
+      ODA_REQUIRES(mu_);
+  void push_outcome_locked(SeriesHealth& s, bool failure) ODA_REQUIRES(mu_);
+  double failure_rate_locked(const SeriesHealth& s) const ODA_REQUIRES(mu_);
+  void reevaluate_locked(SeriesHealth& s, TimePoint now) ODA_REQUIRES(mu_);
+  void transition_locked(SeriesHealth& s, SensorState to, TimePoint now)
+      ODA_REQUIRES(mu_);
+  void update_gauges_locked() ODA_REQUIRES(mu_);
+  /// Drains pending_publish_ into the bus. Must be called with mu_
+  /// released: publishing under the tracker lock would invert the
+  /// bus -> health order and deadlock any subscriber that queries the
+  /// tracker from its callback.
+  void flush_publishes(std::vector<Reading>& pending) ODA_EXCLUDES(mu_);
 
   HealthPolicy policy_;
   MessageBus* bus_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint32_t, SeriesHealth> series_;
-  std::vector<RangeRule> ranges_;
-  std::uint64_t transitions_ = 0;
+  mutable Mutex mu_ ODA_ACQUIRED_AFTER(lock_order::health)
+      ODA_ACQUIRED_BEFORE(lock_order::store_shard);
+  std::unordered_map<std::uint32_t, SeriesHealth> series_ ODA_GUARDED_BY(mu_);
+  std::vector<RangeRule> ranges_ ODA_GUARDED_BY(mu_);
+  std::uint64_t transitions_ ODA_GUARDED_BY(mu_) = 0;
+  /// Quarantine transitions queued by transition_locked(); drained by the
+  /// public entry points after releasing mu_ (see flush_publishes).
+  std::vector<Reading> pending_publish_ ODA_GUARDED_BY(mu_);
   // Owned by the global registry (aggregate across trackers, like the bus).
   obs::Counter* transition_counters_[3] = {nullptr, nullptr, nullptr};
   obs::Gauge* state_gauges_[3] = {nullptr, nullptr, nullptr};

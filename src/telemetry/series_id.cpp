@@ -1,7 +1,5 @@
 #include "telemetry/series_id.hpp"
 
-#include <mutex>
-
 #include "common/error.hpp"
 
 namespace oda::telemetry {
@@ -13,11 +11,11 @@ SeriesInterner& SeriesInterner::global() {
 
 SeriesId SeriesInterner::intern(const std::string& path) {
   {
-    std::shared_lock lock(mu_);
+    ReaderLock lock(mu_);
     const auto it = ids_.find(path);
     if (it != ids_.end()) return SeriesId{it->second};
   }
-  std::unique_lock lock(mu_);
+  WriterLock lock(mu_);
   const auto it = ids_.find(path);  // racing interner may have won
   if (it != ids_.end()) return SeriesId{it->second};
   ODA_REQUIRE(paths_.size() < SeriesId::kInvalid, "series interner exhausted");
@@ -28,21 +26,21 @@ SeriesId SeriesInterner::intern(const std::string& path) {
 }
 
 std::optional<SeriesId> SeriesInterner::lookup(const std::string& path) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   const auto it = ids_.find(path);
   if (it == ids_.end()) return std::nullopt;
   return SeriesId{it->second};
 }
 
 const std::string& SeriesInterner::path(SeriesId id) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   ODA_REQUIRE(id.valid() && id.value < paths_.size(),
               "unknown series id: " + std::to_string(id.value));
   return paths_[id.value];
 }
 
 std::size_t SeriesInterner::size() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(mu_);
   return paths_.size();
 }
 

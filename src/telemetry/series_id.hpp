@@ -15,10 +15,10 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/sync.hpp"
 #include "telemetry/sample.hpp"
 
 namespace oda::telemetry {
@@ -58,24 +58,28 @@ class SeriesInterner {
   static SeriesInterner& global();
 
   /// Returns the id for `path`, assigning the next dense id on first use.
-  SeriesId intern(const std::string& path);
+  SeriesId intern(const std::string& path) ODA_EXCLUDES(mu_);
 
   /// Returns the id for `path` if it was ever interned (never assigns).
-  std::optional<SeriesId> lookup(const std::string& path) const;
+  std::optional<SeriesId> lookup(const std::string& path) const
+      ODA_EXCLUDES(mu_);
 
   /// Reverse lookup. The returned reference is stable for the process
   /// lifetime (entries are never removed). Throws ContractError on an
   /// unknown or invalid id.
-  const std::string& path(SeriesId id) const;
+  const std::string& path(SeriesId id) const ODA_EXCLUDES(mu_);
 
   /// Number of interned paths.
-  std::size_t size() const;
+  std::size_t size() const ODA_EXCLUDES(mu_);
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, std::uint32_t> ids_;
+  /// Store shards hold their lock across path(id) lookups, so the interner
+  /// sits between the shard and metrics levels.
+  mutable SharedMutex mu_ ODA_ACQUIRED_AFTER(lock_order::interner)
+      ODA_ACQUIRED_BEFORE(lock_order::metrics);
+  std::unordered_map<std::string, std::uint32_t> ids_ ODA_GUARDED_BY(mu_);
   // Deque so path(id) references stay valid while intern() appends.
-  std::deque<std::string> paths_;
+  std::deque<std::string> paths_ ODA_GUARDED_BY(mu_);
 };
 
 }  // namespace oda::telemetry

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
-#include <mutex>
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
@@ -165,7 +164,7 @@ void TimeSeriesStore::insert(SeriesId id, Sample sample) {
   ODA_REQUIRE(id.valid(), "store insert with invalid series id");
   {
     Shard& shard = shard_of(id);
-    std::unique_lock lock(shard.mu);
+    WriterLock lock(shard.mu);
     series_locked(shard, id).samples.push(sample);
   }
   // relaxed: monotonic statistics counter (see total_inserted()).
@@ -212,17 +211,14 @@ void TimeSeriesStore::insert_batch(std::span<const IdReading> readings) {
     const std::uint32_t hi = counts[s + 1];
     if (lo == hi) continue;
     Shard& shard = *shards_[s];
-    // Uncontended fast path: try_lock succeeds and we skip the two clock
-    // reads; the wait gauge only pays for timing when there is a real wait.
-    std::unique_lock lock(shard.mu, std::try_to_lock);
-    if (!lock.owns_lock()) {
-      const auto wait_start = std::chrono::steady_clock::now();
-      lock.lock();
-      shard_lock_wait_[s]->add(
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        wait_start)
-              .count());
-    }
+    // Uncontended fast path: WriterLock's timed constructor try_locks first
+    // and skips the two clock reads; the wait gauge only pays for timing
+    // when there is a real wait. The gauge update happens while the lock is
+    // already held (the gauge itself is atomic, so this is for accounting
+    // locality, not correctness).
+    double waited_s = 0.0;
+    WriterLock lock(shard.mu, waited_s);
+    if (waited_s > 0.0) shard_lock_wait_[s]->add(waited_s);
     for (std::uint32_t k = lo; k < hi; ++k) {
       const IdReading& r = readings[order[k]];
       series_locked(shard, r.id).samples.push(r.sample);
@@ -245,7 +241,7 @@ void TimeSeriesStore::insert_batch(std::span<const Reading> readings) {
 bool TimeSeriesStore::contains(SeriesId id) const {
   if (!id.valid()) return false;
   Shard& shard = shard_of(id);
-  std::shared_lock lock(shard.mu);
+  ReaderLock lock(shard.mu);
   return shard.series.count(id.value) != 0;
 }
 
@@ -258,7 +254,7 @@ std::vector<std::string> TimeSeriesStore::paths() const {
   SeriesInterner& interner = SeriesInterner::global();
   std::vector<std::string> out;
   for (const auto& shard : shards_) {
-    std::shared_lock lock(shard->mu);
+    ReaderLock lock(shard->mu);
     for (const auto& [id, s] : shard->series) {
       out.push_back(interner.path(SeriesId{id}));
     }
@@ -280,7 +276,7 @@ std::vector<std::string> TimeSeriesStore::match(const std::string& pattern) cons
 std::size_t TimeSeriesStore::sample_count(SeriesId id) const {
   if (!id.valid()) return 0;
   Shard& shard = shard_of(id);
-  std::shared_lock lock(shard.mu);
+  ReaderLock lock(shard.mu);
   const auto it = shard.series.find(id.value);
   return it == shard.series.end() ? 0 : it->second->samples.size();
 }
@@ -293,7 +289,7 @@ std::size_t TimeSeriesStore::sample_count(const std::string& path) const {
 std::optional<Sample> TimeSeriesStore::latest(SeriesId id) const {
   if (!id.valid()) return std::nullopt;
   Shard& shard = shard_of(id);
-  std::shared_lock lock(shard.mu);
+  ReaderLock lock(shard.mu);
   const auto it = shard.series.find(id.value);
   if (it == shard.series.end() || it->second->samples.empty()) {
     return std::nullopt;
@@ -312,7 +308,7 @@ SeriesSlice TimeSeriesStore::query(SeriesId id, TimePoint from,
   SeriesSlice out;
   if (!id.valid()) return out;
   Shard& shard = shard_of(id);
-  std::shared_lock lock(shard.mu);
+  ReaderLock lock(shard.mu);
   const auto it = shard.series.find(id.value);
   if (it == shard.series.end()) return out;
   // Samples are time-ordered (monotone inserts); binary-search the range
@@ -356,7 +352,7 @@ SeriesSlice TimeSeriesStore::query_aggregated(SeriesId id, TimePoint from,
   SeriesSlice out;
   if (!id.valid()) return out;
   Shard& shard = shard_of(id);
-  std::shared_lock lock(shard.mu);
+  ReaderLock lock(shard.mu);
   const auto it = shard.series.find(id.value);
   if (it == shard.series.end()) return out;
   const auto [a, b] = it->second->samples.spans();

@@ -21,13 +21,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ring_buffer.hpp"
+#include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "telemetry/sample.hpp"
 #include "telemetry/series_id.hpp"
@@ -165,16 +165,20 @@ class TimeSeriesStore {
   };
 
   /// One lock stripe: its own reader/writer lock and id-keyed series map.
+  /// The shard lock is held across interner path lookups and (first-use)
+  /// metric registration in series_locked, hence the BEFORE(interner) edge.
   struct Shard {
-    mutable std::shared_mutex mu;
-    std::unordered_map<std::uint32_t, std::unique_ptr<Series>> series;
+    mutable SharedMutex mu ODA_ACQUIRED_AFTER(lock_order::store_shard)
+        ODA_ACQUIRED_BEFORE(lock_order::interner);
+    std::unordered_map<std::uint32_t, std::unique_ptr<Series>> series
+        ODA_GUARDED_BY(mu);
   };
 
   Shard& shard_of(SeriesId id) const {
     return *shards_[id.value & shard_mask_];
   }
   /// Creates the series for `id` if absent; caller holds the shard lock.
-  Series& series_locked(Shard& shard, SeriesId id);
+  Series& series_locked(Shard& shard, SeriesId id) ODA_REQUIRES(shard.mu);
   void fill_column(Frame& f, std::size_t col, SeriesId id, TimePoint from,
                    TimePoint to, Duration bucket, Aggregation agg) const;
 

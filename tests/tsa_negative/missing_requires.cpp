@@ -1,0 +1,28 @@
+// Gate proof: calling an ODA_REQUIRES(mu) helper without holding the mutex
+// must not compile under the tsa preset — the *_locked() naming convention
+// is machine-checked, not a comment.
+// TSA-EXPECT: calling function 'advance_locked' requires holding mutex 'mu_' exclusively
+#include "common/sync.hpp"
+
+class Ticker {
+ public:
+  void advance() {
+    advance_locked();  // forgot to take mu_ first
+  }
+  int read() const {
+    oda::MutexLock lock(mu_);
+    return ticks_;
+  }
+
+ private:
+  void advance_locked() ODA_REQUIRES(mu_) { ++ticks_; }
+
+  mutable oda::Mutex mu_;
+  int ticks_ ODA_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Ticker ticker;
+  ticker.advance();
+  return ticker.read();
+}

@@ -1,0 +1,28 @@
+// Gate proof: acquiring two mutexes against a direct ODA_ACQUIRED_BEFORE
+// edge must not compile under the tsa preset (-Wthread-safety-beta carries
+// the ordering checks).
+// TSA-EXPECT: must be acquired
+#include "common/sync.hpp"
+
+class Pipeline {
+ public:
+  void transfer() {
+    oda::MutexLock input(input_mu_);
+    oda::MutexLock output(output_mu_);
+  }
+  void inverted() {
+    oda::MutexLock output(output_mu_);
+    oda::MutexLock input(input_mu_);  // violates the declared order
+  }
+
+ private:
+  oda::Mutex input_mu_ ODA_ACQUIRED_BEFORE(output_mu_);
+  oda::Mutex output_mu_;
+};
+
+int main() {
+  Pipeline pipeline;
+  pipeline.transfer();
+  pipeline.inverted();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Gate proof: the lock_order rank chain orders mutexes that have no direct
+// edge between them. A log-level mutex held while acquiring a bus-level one
+// inverts the hierarchy purely through the transitive marker chain
+// (bus -> ... -> log), so this must not compile under the tsa preset.
+// TSA-EXPECT: must be acquired
+#include "common/sync.hpp"
+
+class CrossLayer {
+ public:
+  void correct() {
+    oda::MutexLock bus(bus_mu_);
+    oda::MutexLock sink(log_mu_);
+  }
+  void inverted() {
+    oda::MutexLock sink(log_mu_);
+    oda::MutexLock bus(bus_mu_);  // bus level under log level
+  }
+
+ private:
+  oda::Mutex bus_mu_ ODA_ACQUIRED_AFTER(oda::lock_order::bus)
+      ODA_ACQUIRED_BEFORE(oda::lock_order::health);
+  oda::Mutex log_mu_ ODA_ACQUIRED_AFTER(oda::lock_order::log);
+};
+
+int main() {
+  CrossLayer layers;
+  layers.correct();
+  layers.inverted();
+  return 0;
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Negative-compilation driver for the thread-safety gate.
+
+A case file is a small, *valid* C++ program that violates the locking
+discipline encoded in src/common/sync.hpp. The proof obligation is
+two-sided:
+
+  1. without analysis flags the case compiles clean (so a failure below is
+     attributable to the analysis, not to a syntax error);
+  2. with `-Wthread-safety -Wthread-safety-beta -Werror` compilation FAILS,
+     and stderr matches every `// TSA-EXPECT: <regex>` line in the case.
+
+Thread Safety Analysis exists only in Clang, so when the configured
+compiler is anything else the driver exits 77 (ctest SKIP_RETURN_CODE) —
+the gate is exercised wherever clang++ is available (the `tsa` CI job),
+and visibly skipped, never silently green, elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+
+SKIP = 77
+TSA_FLAGS = ["-Wthread-safety", "-Wthread-safety-beta", "-Werror"]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("case", help="path to the case .cpp file")
+    ap.add_argument("--compiler", default="clang++",
+                    help="C++ compiler; non-Clang compilers skip (exit 77)")
+    ap.add_argument("--include-dir", required=True,
+                    help="repository src/ directory for #include resolution")
+    args = ap.parse_args()
+
+    try:
+        ver = subprocess.run([args.compiler, "--version"],
+                             capture_output=True, text=True, timeout=60)
+    except (OSError, subprocess.TimeoutExpired):
+        print(f"SKIP: compiler '{args.compiler}' is not runnable")
+        return SKIP
+    if ver.returncode != 0 or "clang" not in ver.stdout.lower():
+        print(f"SKIP: '{args.compiler}' is not Clang; "
+              "thread-safety analysis is unavailable")
+        return SKIP
+
+    with open(args.case, encoding="utf-8") as f:
+        source = f.read()
+    expects = [m.group(1).strip()
+               for m in re.finditer(r"//\s*TSA-EXPECT:\s*(.+)", source)]
+    if not expects:
+        print("ERROR: case declares no TSA-EXPECT lines")
+        return 1
+
+    base = [args.compiler, "-std=c++20", "-fsyntax-only",
+            "-I", args.include_dir]
+
+    plain = subprocess.run(base + [args.case],
+                           capture_output=True, text=True, timeout=300)
+    if plain.returncode != 0:
+        print("FAIL: case must be valid C++ without the analysis flags "
+              "(otherwise the rejection below proves nothing):")
+        print(plain.stderr)
+        return 1
+
+    tsa = subprocess.run(base + TSA_FLAGS + [args.case],
+                         capture_output=True, text=True, timeout=300)
+    if tsa.returncode == 0:
+        print("FAIL: the thread-safety gate did not fire — the analysis "
+              "accepted a case that violates the locking discipline")
+        return 1
+    missing = [e for e in expects if not re.search(e, tsa.stderr)]
+    if missing:
+        print("FAIL: compilation failed but not for the documented reason;")
+        for e in missing:
+            print(f"  no diagnostic matched: {e}")
+        print("--- compiler stderr ---")
+        print(tsa.stderr)
+        return 1
+
+    print(f"PASS: rejected with all {len(expects)} expected diagnostic(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+// Gate proof: writing a guarded field while holding only the shared
+// (reader) side of a SharedMutex must not compile under the tsa preset —
+// readers can race with this write.
+// TSA-EXPECT: writing variable 'snapshot_' requires holding shared mutex 'mu_' exclusively
+#include "common/sync.hpp"
+
+class Catalog {
+ public:
+  void refresh(double value) {
+    oda::ReaderLock lock(mu_);
+    snapshot_ = value;  // writer work under a reader lock
+  }
+  double snapshot() const {
+    oda::ReaderLock lock(mu_);
+    return snapshot_;
+  }
+
+ private:
+  mutable oda::SharedMutex mu_;
+  double snapshot_ ODA_GUARDED_BY(mu_) = 0.0;
+};
+
+int main() {
+  Catalog catalog;
+  catalog.refresh(1.0);
+  return catalog.snapshot() > 0.0 ? 0 : 1;
+}

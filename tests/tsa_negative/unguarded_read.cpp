@@ -1,0 +1,26 @@
+// Gate proof: reading an ODA_GUARDED_BY field without holding its mutex
+// must not compile under the tsa preset. (Valid C++ otherwise — the
+// annotations are inert without the analysis.)
+// TSA-EXPECT: reading variable 'balance_' requires holding mutex 'mu_'
+#include "common/sync.hpp"
+
+class Account {
+ public:
+  void deposit(int amount) {
+    oda::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+  int balance() const {
+    return balance_;  // racy read: no lock held
+  }
+
+ private:
+  mutable oda::Mutex mu_;
+  int balance_ ODA_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.balance();
+}

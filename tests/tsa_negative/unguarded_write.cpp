@@ -1,0 +1,27 @@
+// Gate proof: writing an ODA_GUARDED_BY field without holding its mutex
+// must not compile under the tsa preset.
+// TSA-EXPECT: writing variable 'counter_' requires holding mutex 'mu_' exclusively
+#include <cstdint>
+
+#include "common/sync.hpp"
+
+class EventCounter {
+ public:
+  void bump() {
+    ++counter_;  // racy write: no lock held
+  }
+  std::int64_t value() const {
+    oda::MutexLock lock(mu_);
+    return counter_;
+  }
+
+ private:
+  mutable oda::Mutex mu_;
+  std::int64_t counter_ ODA_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  EventCounter counter;
+  counter.bump();
+  return static_cast<int>(counter.value());
+}
