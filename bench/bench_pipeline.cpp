@@ -7,6 +7,8 @@
 #include "bench_util.hpp"
 
 #include "common/rng.hpp"
+#include "common/sync.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "sim/cluster.hpp"
@@ -146,6 +148,49 @@ void BM_TraceSpanFull(benchmark::State& state) {
   tracer.set_capacity(1 << 16);
 }
 BENCHMARK(BM_TraceSpanFull);
+
+// The profiler gate ladder (profiler.hpp's cost model): compiled in but
+// stopped, SamplingProfiler::active() must price at one relaxed load —
+// the entire steady-state cost instrumented threads pay when nobody is
+// profiling. Compare against BM_TraceSpanDisabled, the same claim for
+// spans.
+void BM_ProfilerGateDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    bool active = obs::SamplingProfiler::active();
+    benchmark::DoNotOptimize(active);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerGateDisabled);
+
+// The lock-accounting ladder (contention.hpp's cost model): an uncontended
+// RAII acquisition with accounting armed (the default — one relaxed load
+// plus a try_lock fast path that skips both clock reads) against the same
+// acquisition disarmed (plain lock() behind the relaxed load).
+void BM_LockUncontendedAccountingOn(benchmark::State& state) {
+  contention::set_enabled(true);
+  Mutex mu;
+  long counter = 0;
+  for (auto _ : state) {
+    MutexLock lock(mu);
+    benchmark::DoNotOptimize(++counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockUncontendedAccountingOn);
+
+void BM_LockUncontendedAccountingOff(benchmark::State& state) {
+  contention::set_enabled(false);
+  Mutex mu;
+  long counter = 0;
+  for (auto _ : state) {
+    MutexLock lock(mu);
+    benchmark::DoNotOptimize(++counter);
+  }
+  contention::set_enabled(true);  // restore the default
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockUncontendedAccountingOff);
 
 void BM_SimStep(benchmark::State& state) {
   sim::ClusterParams params;

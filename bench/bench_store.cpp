@@ -17,6 +17,8 @@
 
 #include "bench_util.hpp"
 #include "common/ring_buffer.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/trace.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/cluster.hpp"
@@ -285,6 +287,36 @@ int main(int argc, char** argv) {
   report.add("frame_parallel_ms", frame_parallel_ms, "ms");
   report.add("frame_parallel_speedup", frame_ms / frame_parallel_ms, "x");
 
+  // ---------------------------------------- trace-derived critical path
+  // One pooled frame() runs under the tracer; the critical-path analyzer
+  // (obs/critical_path.hpp) turns the span tree into the path length and a
+  // parallelism coefficient (total busy / root duration). Structural
+  // metrics from span nesting, not a wall-clock re-timing — so they also
+  // explain *why* the pooled frame is faster, not just that it is.
+#if ODA_TRACING_ENABLED
+  {
+    oda::obs::Tracer& tracer = oda::obs::Tracer::global();
+    tracer.clear();
+    tracer.set_capacity(1 << 16);
+    tracer.set_enabled(true);
+    store.set_pool(&pool);
+    sink += store.frame(qpaths, 0, to, 60, Aggregation::kMean).rows();
+    store.set_pool(nullptr);
+    tracer.set_enabled(false);
+    const auto reports = oda::obs::analyze_critical_path(tracer.events());
+    tracer.clear();
+    for (const auto& r : reports) {
+      if (r.root_name != "store.frame") continue;
+      std::printf("frame critical path: %.2f ms over %zu spans, "
+                  "parallelism x%.2f\n",
+                  r.critical_path_us / 1e3, r.span_count, r.parallelism);
+      report.add("frame_critical_path_ms", r.critical_path_us / 1e3, "ms");
+      report.add("frame_parallelism", r.parallelism, "x");
+      break;
+    }
+  }
+#endif
+
   // ------------------------------------------------- collector pass time
   // Serial vs. pool-fanned sensor reads (the fault overlay no longer
   // serializes the parallel path). Same cluster/workload either way.
@@ -323,6 +355,41 @@ int main(int argc, char** argv) {
   report.add("collector_serial_pass_ms", serial_pass * 1e3, "ms");
   report.add("collector_parallel_pass_ms", parallel_pass * 1e3, "ms");
   report.add("collector_parallel_speedup", serial_pass / parallel_pass, "x");
+
+  // One traced parallel collect() pass, same structural analysis as the
+  // frame above: how much of the pass the pool actually overlaps.
+#if ODA_TRACING_ENABLED
+  {
+    oda::sim::ClusterParams params;
+    params.racks = 4;
+    params.nodes_per_rack = 16;
+    oda::sim::ClusterSimulation cluster(params);
+    TimeSeriesStore cstore(1 << 10);
+    ThreadPool cpool;
+    oda::telemetry::Collector collector(cluster, &cstore, nullptr, &cpool);
+    collector.add_all_sensors(params.dt);
+    cluster.step();
+    collector.collect();  // warm-up: intern + create series
+    oda::obs::Tracer& tracer = oda::obs::Tracer::global();
+    tracer.clear();
+    tracer.set_capacity(1 << 16);
+    tracer.set_enabled(true);
+    cluster.step();
+    collector.collect();
+    tracer.set_enabled(false);
+    const auto reports = oda::obs::analyze_critical_path(tracer.events());
+    tracer.clear();
+    for (const auto& r : reports) {
+      if (r.root_name != "collector.collect") continue;
+      std::printf("collect critical path: %.2f ms over %zu spans, "
+                  "parallelism x%.2f\n",
+                  r.critical_path_us / 1e3, r.span_count, r.parallelism);
+      report.add("collect_critical_path_ms", r.critical_path_us / 1e3, "ms");
+      report.add("collect_parallelism", r.parallelism, "x");
+      break;
+    }
+  }
+#endif
 
   if (sink == 0) std::printf("(empty results?)\n");
   return 0;

@@ -8,10 +8,15 @@
 // and exports the evidence in machine-readable form:
 //   * Prometheus text exposition  (validated by scripts/check_prom.py),
 //   * a JSON metrics snapshot,
-//   * a Chrome trace_event JSON loadable in chrome://tracing / Perfetto.
+//   * a Chrome trace_event JSON loadable in chrome://tracing / Perfetto,
+//   * folded stacks from the sampling profiler (flamegraph.pl input,
+//     validated by scripts/check_folded.py),
+//   * the critical-path report over the traced window (the same text
+//     scripts/analyze_trace.py derives from trace_out — the lockstep
+//     fixture compares the two byte-for-byte).
 //
 //   ./self_monitor [hours=8] [prom_out] [trace_out] [metrics_json_out]
-//                  [flight_out]
+//                  [flight_out] [profile_out] [cp_out]
 //
 // The always-on flight recorder is exported too: its ring dump (last spans
 // on every thread, causal ids included) goes to flight_out, and the same
@@ -34,9 +39,11 @@
 #include "analytics/prescriptive/dvfs.hpp"
 #include "analytics/prescriptive/placement.hpp"
 #include "analytics/prescriptive/recommend.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/exposition.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "sim/cluster.hpp"
@@ -66,6 +73,8 @@ int main(int argc, char** argv) {
   const char* trace_out = argc > 3 ? argv[3] : "self_monitor_trace.json";
   const char* json_out = argc > 4 ? argv[4] : "self_monitor_metrics.json";
   const char* flight_out = argc > 5 ? argv[5] : "self_monitor_flight.json";
+  const char* profile_out = argc > 6 ? argv[6] : "self_monitor.folded";
+  const char* cp_out = argc > 7 ? argv[7] : "self_monitor_critical_path.txt";
 
   // Spans from every layer (sim, collector, bus, analytics) are recorded —
   // but only over the final simulated hour, so the bounded trace buffer
@@ -74,6 +83,13 @@ int main(int argc, char** argv) {
   tracer.set_capacity(1 << 18);
   obs::FlightRecorder& recorder = obs::FlightRecorder::global();
   recorder.set_dump_path(flight_out);
+
+  // The stack profiles itself too: sample every watched thread (the pool
+  // workers plus this main thread) for the whole run. In ODA_PROFILE=OFF
+  // builds start() reports false and dump_folded() writes an empty file.
+  WatchedThreadScope main_scope("main");
+  obs::SamplingProfiler& profiler = obs::SamplingProfiler::global();
+  const bool profiling = profiler.start();
 
   // 1. Simulated facility + full monitoring plane: collector -> store+bus,
   //    with a thread pool for parallel sensor reads.
@@ -105,6 +121,9 @@ int main(int argc, char** argv) {
   const auto tracer_handles = obs::register_tracer(registry, tracer, "global");
   const auto recorder_handles =
       obs::register_flight_recorder(registry, recorder, "global");
+  const auto lock_handles = obs::register_lock_contention(registry);
+  const auto profiler_handles =
+      obs::register_profiler(registry, profiler, "global");
 
   // 2. Prescriptive control plane (building-infrastructure + hardware cells).
   analytics::ControlLoop control(cluster, store);
@@ -189,7 +208,9 @@ int main(int argc, char** argv) {
     analytics::recommend_for_job(store, records.back(), prefixes);
   }
 
-  // 5. The stack's own operational picture.
+  // 5. The stack's own operational picture. Stop sampling first so the
+  //    profiler counters the snapshot exports are final.
+  if (profiling) profiler.stop();
   const obs::MetricsSnapshot snapshot = registry.snapshot();
   const obs::PipelineHealthReport health = obs::assess_pipeline_health(snapshot);
   std::printf("\n%s\n", health.render().c_str());
@@ -202,8 +223,15 @@ int main(int argc, char** argv) {
   ok = write_file(json_out, obs::to_json(snapshot)) && ok;
   ok = write_file(trace_out, tracer.to_chrome_json()) && ok;
   ok = write_file(flight_out, recorder.to_chrome_json()) && ok;
-  std::printf("exports: %s, %s, %s, %s\n", prom_out, json_out, trace_out,
-              flight_out);
+  ok = profiler.dump_folded(profile_out) && ok;
+  const auto cp_reports = obs::analyze_critical_path(tracer.events());
+  ok = write_file(cp_out, obs::render_critical_path(cp_reports)) && ok;
+  std::printf("exports: %s, %s, %s, %s, %s, %s\n", prom_out, json_out,
+              trace_out, flight_out, profile_out, cp_out);
+  std::printf("profiler: %llu samples on %zu thread(s), critical-path "
+              "reports: %zu\n",
+              static_cast<unsigned long long>(profiler.sampled_total()),
+              profiler.thread_count(), cp_reports.size());
   std::printf("trace: %zu spans retained, %llu dropped, %zu metric families\n",
               tracer.event_count(),
               static_cast<unsigned long long>(tracer.dropped()),

@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""Offline critical-path analysis of a Chrome trace JSON file.
+
+Implements the identical algorithm to src/obs/critical_path.cpp — same
+grouping, same tie-breaks, same integer-microsecond arithmetic — so the two
+stay in lockstep (tests/test_profiler.cpp asserts exact outputs against the
+C++ side; this script must reproduce them bit-for-bit on the same trace).
+
+Input: the JSON written by oda::obs::chrome_trace_json (e.g. bench binaries'
+--trace-out, or examples/self_monitor's trace export).  Only complete-span
+events (ph == "X") carrying a nonzero args.trace_id participate; instants
+(ph == "i") and the flow-arrow pairs (ph == "s"/"f", cat "flow") are
+ignored, as the C++ analyzer ignores non-span event kinds.
+
+Usage:
+  analyze_trace.py TRACE.json [--top N] [--json OUT.json] [--min-traces N]
+
+Text output matches oda::obs::render_critical_path byte-for-byte.  --json
+additionally writes the reports as structured JSON.  --min-traces N exits
+nonzero when fewer than N reports were produced (CI guard against an empty
+or untraced run).  No third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+# Mirrors kMaxDepth in critical_path.cpp: deeper nesting means corrupt
+# parent ids; treat as a leaf.
+MAX_DEPTH = 512
+
+
+def _parse_id(value):
+    """16-char hex id (trace_id_hex) -> int; tolerates missing/blank."""
+    if not value:
+        return 0
+    try:
+        return int(value, 16)
+    except ValueError:
+        return 0
+
+
+def load_spans(doc):
+    """Extracts (name, trace_id, span_id, parent_id, start_us, dur_us)
+    tuples for every traced complete-span event, in file order."""
+    spans = []
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue  # instants, flow arrows, metadata
+        args = ev.get("args") or {}
+        trace_id = _parse_id(args.get("trace_id"))
+        if trace_id == 0:
+            continue  # untraced span: chrome_trace_json omits args entirely
+        spans.append({
+            "name": str(ev.get("name", "")),
+            "trace_id": trace_id,
+            "span_id": _parse_id(args.get("span_id")),
+            "parent_id": _parse_id(args.get("parent_id")),
+            "start": int(ev.get("ts", 0)),
+            "dur": int(ev.get("dur", 0)),
+        })
+    return spans
+
+
+class _Node:
+    __slots__ = ("ev", "start", "end", "children", "on_stack")
+
+    def __init__(self, ev):
+        self.ev = ev
+        self.start = ev["start"]
+        self.end = ev["start"] + ev["dur"]
+        self.children = []
+        self.on_stack = False
+
+
+class _Walker:
+    """Mirrors the anonymous-namespace Walker in critical_path.cpp."""
+
+    def __init__(self, nodes):
+        self.nodes = nodes
+        self.agg = {}  # name -> {"count", "self_us", "cp_us"}
+        self.total_busy = 0
+        self.span_count = 0
+
+    def _agg_for(self, name):
+        a = self.agg.get(name)
+        if a is None:
+            a = {"name": name, "count": 0, "self_us": 0, "cp_us": 0}
+            self.agg[name] = a
+        return a
+
+    def walk(self, idx, wlo, whi, depth):
+        node = self.nodes[idx]
+        lo = max(node.start, wlo)
+        hi = min(node.end, whi)
+        if hi <= lo:
+            return 0
+        a = self._agg_for(node.ev["name"])
+        if depth >= MAX_DEPTH:
+            a["cp_us"] += hi - lo
+            return hi - lo
+        node.on_stack = True
+        frontier = hi
+        cp = 0
+        for child_idx in node.children:
+            child = self.nodes[child_idx]
+            if child.on_stack:
+                continue  # corrupt parent chain (cycle)
+            child_end = min(child.end, frontier)
+            if child_end <= lo or child.start >= frontier:
+                continue
+            if frontier > child_end:
+                # Slice (child_end, frontier]: no later-ending child covers
+                # it — the node itself is on the critical path here.
+                a["cp_us"] += frontier - child_end
+                cp += frontier - child_end
+            cp += self.walk(child_idx, lo, child_end, depth + 1)
+            frontier = max(child.start, lo)
+            if frontier <= lo:
+                break
+        if frontier > lo:
+            a["cp_us"] += frontier - lo
+            cp += frontier - lo
+        node.on_stack = False
+        return cp
+
+    def accumulate_self(self, idx, depth):
+        node = self.nodes[idx]
+        if node.on_stack or depth >= MAX_DEPTH:
+            return
+        node.on_stack = True
+        self.span_count += 1
+        ivals = []
+        for child_idx in node.children:
+            child = self.nodes[child_idx]
+            s = max(child.start, node.start)
+            e = min(child.end, node.end)
+            if e > s:
+                ivals.append((s, e))
+            self.accumulate_self(child_idx, depth + 1)
+        ivals.sort()
+        covered = 0
+        cursor = node.start
+        for s, e in ivals:
+            frm = max(s, cursor)
+            if e > frm:
+                covered += e - frm
+                cursor = e
+        dur = node.end - node.start
+        self_us = dur - min(covered, dur)
+        a = self._agg_for(node.ev["name"])
+        a["count"] += 1
+        a["self_us"] += self_us
+        self.total_busy += self_us
+        node.on_stack = False
+
+
+def analyze(spans, top_n=10):
+    """Mirrors oda::obs::analyze_critical_path; returns report dicts."""
+    traces = {}
+    for ev in spans:
+        traces.setdefault(ev["trace_id"], []).append(ev)
+
+    reports = []
+    for trace_id in sorted(traces):
+        evs = sorted(traces[trace_id],
+                     key=lambda e: (e["span_id"], e["start"]))
+        nodes = []
+        by_id = {}
+        for ev in evs:
+            if ev["span_id"] in by_id:
+                continue  # duplicate span id: keep the first occurrence
+            by_id[ev["span_id"]] = len(nodes)
+            nodes.append(_Node(ev))
+        roots = []
+        for i, node in enumerate(nodes):
+            parent = by_id.get(node.ev["parent_id"])
+            if node.ev["parent_id"] == 0 or parent is None or parent == i:
+                roots.append(i)
+            else:
+                nodes[parent].children.append(i)
+        for node in nodes:
+            node.children.sort(
+                key=lambda c: (-nodes[c].end, -nodes[c].start,
+                               nodes[c].ev["span_id"]))
+
+        for root in roots:
+            walker = _Walker(nodes)
+            rnode = nodes[root]
+            report = {
+                "trace_id": trace_id,
+                "root_span_id": rnode.ev["span_id"],
+                "root_name": rnode.ev["name"],
+                "root_start_us": rnode.start,
+                "root_dur_us": rnode.end - rnode.start,
+            }
+            report["critical_path_us"] = walker.walk(
+                root, rnode.start, rnode.end, 0)
+            walker.accumulate_self(root, 0)
+            report["total_busy_us"] = walker.total_busy
+            report["span_count"] = walker.span_count
+            report["parallelism"] = (
+                0.0 if report["root_dur_us"] == 0
+                else walker.total_busy / report["root_dur_us"])
+            top = sorted(walker.agg.values(),
+                         key=lambda a: (-a["cp_us"], -a["self_us"],
+                                        a["name"]))
+            report["top"] = top[:top_n]
+            reports.append(report)
+
+    reports.sort(key=lambda r: (-r["root_dur_us"], r["trace_id"],
+                                r["root_span_id"]))
+    return reports
+
+
+def render(reports):
+    """Byte-for-byte mirror of oda::obs::render_critical_path."""
+    out = []
+    for r in reports:
+        out.append(
+            "trace %016x root '%s' dur %.3f ms critical_path %.3f ms "
+            "busy %.3f ms parallelism %.2f spans %d\n"
+            % (r["trace_id"], r["root_name"], r["root_dur_us"] / 1000.0,
+               r["critical_path_us"] / 1000.0, r["total_busy_us"] / 1000.0,
+               r["parallelism"], r["span_count"]))
+        for a in r["top"]:
+            out.append("  %-32s count %6d self %10.3f ms on-path %10.3f ms\n"
+                       % (a["name"], a["count"], a["self_us"] / 1000.0,
+                          a["cp_us"] / 1000.0))
+    if not out:
+        return "no traced spans\n"
+    return "".join(out)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Critical-path analysis of a Chrome trace JSON file "
+                    "(lockstep port of src/obs/critical_path.cpp)")
+    ap.add_argument("trace", help="Chrome trace JSON (chrome_trace_json)")
+    ap.add_argument("--top", type=int, default=10, metavar="N",
+                    help="per-report span-aggregate cap (default 10)")
+    ap.add_argument("--json", metavar="OUT",
+                    help="also write reports as structured JSON")
+    ap.add_argument("--out", metavar="OUT",
+                    help="also write the full text rendering to a file "
+                         "(never truncated — byte-comparable against "
+                         "render_critical_path output)")
+    ap.add_argument("--min-traces", type=int, default=0, metavar="N",
+                    help="exit 1 unless at least N reports were produced")
+    ap.add_argument("--max-reports", type=int, default=0, metavar="N",
+                    help="render only the N longest-root reports "
+                         "(0 = all; --json is never truncated)")
+    args = ap.parse_args()
+
+    # walk()/accumulate_self() recurse to MAX_DEPTH; leave headroom over
+    # Python's default 1000 limit.
+    sys.setrecursionlimit(4 * MAX_DEPTH + 100)
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print("analyze_trace: cannot read %s: %s" % (args.trace, exc),
+              file=sys.stderr)
+        return 1
+
+    reports = analyze(load_spans(doc), top_n=args.top)
+    shown = reports
+    if args.max_reports > 0 and len(reports) > args.max_reports:
+        shown = reports[:args.max_reports]
+    sys.stdout.write(render(shown))
+    if len(shown) < len(reports):
+        print("... (%d more report(s) suppressed by --max-reports)"
+              % (len(reports) - len(shown)))
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(render(reports))
+
+    if args.json:
+        payload = []
+        for r in reports:
+            j = dict(r)
+            j["trace_id"] = "%016x" % r["trace_id"]
+            j["root_span_id"] = "%016x" % r["root_span_id"]
+            payload.append(j)
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump({"reports": payload, "count": len(payload)}, f,
+                      indent=2, sort_keys=True)
+            f.write("\n")
+
+    if len(reports) < args.min_traces:
+        print("analyze_trace: %d report(s) < --min-traces %d"
+              % (len(reports), args.min_traces), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validates a folded-stack profile file (SamplingProfiler::dump_folded).
+
+Checks, without any third-party dependency:
+  * every line matches  `stack count`  where count is a positive integer
+    and stack is `frame(;frame)*` with no empty frames (the flamegraph.pl
+    input contract);
+  * frames contain no spaces or semicolons beyond the separators (the
+    profiler sanitizes both out of symbol names);
+  * stacks are unique and sorted (dump_folded aggregates by stack string);
+  * with --min-lines N: at least N distinct stacks;
+  * with --min-samples N: counts sum to at least N (guards a profiler run
+    that started but never sampled).
+
+Usage: check_folded.py <profile.folded> [--min-lines N] [--min-samples N]
+Exit status 0 when the file is valid, 1 otherwise (problems on stderr).
+"""
+
+import argparse
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate a folded-stack profile file")
+    ap.add_argument("path", help="folded stacks (dump_folded output)")
+    ap.add_argument("--min-lines", type=int, default=0, metavar="N",
+                    help="require at least N distinct stacks")
+    ap.add_argument("--min-samples", type=int, default=0, metavar="N",
+                    help="require counts to sum to at least N")
+    args = ap.parse_args()
+
+    try:
+        with open(args.path, "r", encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as exc:
+        print("check_folded: cannot read %s: %s" % (args.path, exc),
+              file=sys.stderr)
+        return 1
+
+    problems = []
+    stacks = []
+    total = 0
+    for lineno, line in enumerate(lines, 1):
+        if not line:
+            problems.append("%d: empty line" % lineno)
+            continue
+        # Rightmost space splits stack from count: frames never contain
+        # spaces (the profiler rewrites them to '_').
+        stack, sep, count = line.rpartition(" ")
+        if not sep or not stack:
+            problems.append("%d: no `stack count` separator: %r"
+                            % (lineno, line))
+            continue
+        if not count.isdigit() or int(count) <= 0:
+            problems.append("%d: count %r is not a positive integer"
+                            % (lineno, count))
+            continue
+        if " " in stack:
+            problems.append("%d: space inside stack %r" % (lineno, stack))
+            continue
+        frames = stack.split(";")
+        if any(not fr for fr in frames):
+            problems.append("%d: empty frame in stack %r" % (lineno, stack))
+            continue
+        stacks.append(stack)
+        total += int(count)
+
+    for prev, cur in zip(stacks, stacks[1:]):
+        if cur == prev:
+            problems.append("duplicate stack %r" % cur)
+        elif cur < prev:
+            problems.append("stacks not sorted: %r after %r" % (cur, prev))
+
+    if len(stacks) < args.min_lines:
+        problems.append("%d distinct stack(s) < --min-lines %d"
+                        % (len(stacks), args.min_lines))
+    if total < args.min_samples:
+        problems.append("%d sample(s) < --min-samples %d"
+                        % (total, args.min_samples))
+
+    for p in problems:
+        print("check_folded: %s" % p, file=sys.stderr)
+    if not problems:
+        print("check_folded: OK — %d stack(s), %d sample(s)"
+              % (len(stacks), total))
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

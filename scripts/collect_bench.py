@@ -11,15 +11,48 @@ Usage:
   build/bench/bench_table1 --json t1.json && collect_bench.py t1.json
 
 The output maps bench name -> normalized record:
-  {"benches": {<name>: {"wall_seconds": ..., "metrics": [...]}}, "count": N}
+  {"benches": {...}, "count": N, "meta": {...}}
 google-benchmark entries are normalized to metrics named after each
-benchmark case with value = real_time and unit = time_unit.
+benchmark case with value = real_time and unit = time_unit.  The "meta"
+block stamps provenance so a checked-in BENCH_results.json is comparable
+across machines and commits: git SHA (plus a -dirty suffix when the tree
+has uncommitted changes), UTC date, hostname, and online core count.
 """
 
 import argparse
+import datetime
 import json
 import os
+import socket
+import subprocess
 import sys
+
+
+def git_revision():
+    """`<sha>` or `<sha>-dirty`; "unknown" outside a git checkout."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    try:
+        sha = subprocess.run(
+            ["git", "-C", here, "rev-parse", "HEAD"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            check=True).stdout.decode().strip()
+        dirty = subprocess.run(
+            ["git", "-C", here, "status", "--porcelain"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            check=True).stdout.decode().strip()
+        return sha + ("-dirty" if dirty else "")
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def build_meta():
+    now = datetime.datetime.now(datetime.timezone.utc)
+    return {
+        "git_revision": git_revision(),
+        "date_utc": now.strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "host": socket.gethostname(),
+        "cpu_count": os.cpu_count() or 0,
+    }
 
 
 def normalize(path, doc):
@@ -75,7 +108,8 @@ def main():
             continue
         benches[name] = record
 
-    result = {"benches": benches, "count": len(benches)}
+    result = {"benches": benches, "count": len(benches),
+              "meta": build_meta()}
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(result, f, indent=2, sort_keys=True)
         f.write("\n")

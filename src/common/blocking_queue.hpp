@@ -104,7 +104,7 @@ class BlockingQueue {
   }
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRankId::kPool};
   CondVar not_empty_;
   CondVar not_full_;
   std::deque<T> items_ ODA_GUARDED_BY(mu_);

@@ -13,7 +13,7 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 // The innermost lock in the hierarchy: logging happens under every other
 // subsystem's lock, so nothing may be acquired while holding it.
-Mutex g_sink_mu ODA_ACQUIRED_AFTER(lock_order::log);
+Mutex g_sink_mu ODA_ACQUIRED_AFTER(lock_order::log){LockRankId::kLog};
 Log::Sink g_sink ODA_GUARDED_BY(g_sink_mu);
 
 /// Formats the current wall-clock time as "2026-08-07T14:03:11" into `out`

@@ -63,7 +63,7 @@ class CaptureSink {
 
   /// Log-level leaf lock: taken inside Log::write's sink lock, never
   /// around any other lock.
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRankId::kLog};
   RingBuffer<Entry> entries_ ODA_GUARDED_BY(mu_);
 };
 

@@ -24,6 +24,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/contention.hpp"
+
 // ---------------------------------------------------------------- attributes
 
 #if defined(__clang__) && defined(__has_attribute)
@@ -115,6 +117,13 @@ inline LockRank trace ODA_ACQUIRED_AFTER(metrics);
 inline LockRank log ODA_ACQUIRED_AFTER(trace);
 }  // namespace lock_order
 
+// The static rank markers above have a runtime twin: LockRankId
+// (common/contention.hpp). A mutex constructed with its LockRankId feeds
+// per-rank wait-time statistics whenever an RAII acquisition below loses
+// its try_lock fast path, giving the "which lock tier are we waiting on"
+// attribution that the compile-time hierarchy cannot (it only proves
+// ordering). Unranked mutexes account under LockRankId::kUnranked.
+
 // ---------------------------------------------------------------- primitives
 
 /// std::mutex with thread-safety-analysis attributes. Prefer the MutexLock
@@ -123,6 +132,8 @@ inline LockRank log ODA_ACQUIRED_AFTER(trace);
 class ODA_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Tags the mutex with its lock-order tier for contention accounting.
+  explicit Mutex(LockRankId rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
@@ -130,9 +141,12 @@ class ODA_CAPABILITY("mutex") Mutex {
   void unlock() ODA_RELEASE() { mu_.unlock(); }
   bool try_lock() ODA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
+  LockRankId rank() const noexcept { return rank_; }
+
  private:
   friend class CondVar;
   std::mutex mu_;
+  LockRankId rank_ = LockRankId::kUnranked;
 };
 
 /// std::shared_mutex with thread-safety-analysis attributes. Writers use
@@ -140,6 +154,8 @@ class ODA_CAPABILITY("mutex") Mutex {
 class ODA_CAPABILITY("shared mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  /// Tags the mutex with its lock-order tier for contention accounting.
+  explicit SharedMutex(LockRankId rank) : rank_(rank) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
@@ -148,25 +164,56 @@ class ODA_CAPABILITY("shared mutex") SharedMutex {
   bool try_lock() ODA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
   void lock_shared() ODA_ACQUIRE_SHARED() { mu_.lock_shared(); }
   void unlock_shared() ODA_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() ODA_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  LockRankId rank() const noexcept { return rank_; }
 
  private:
   std::shared_mutex mu_;
+  LockRankId rank_ = LockRankId::kUnranked;
 };
 
 // ------------------------------------------------------------- RAII wrappers
+//
+// Every wrapper constructor runs the same contention-accounting shape: one
+// relaxed load of the arm flag, then a try_lock fast path with zero clock
+// reads; only an acquisition that actually waited pays for two steady_clock
+// reads, and that wait is recorded against the mutex's LockRankId and kept
+// in waited_s() for callers that attribute per-instance (the store's
+// per-shard gauge). Direct Mutex::lock() calls and the CondVar reacquire
+// stay unaccounted — attribution covers the RAII idiom the codebase uses
+// everywhere else.
 
 /// Scoped exclusive lock on a Mutex (the std::lock_guard replacement).
 class ODA_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) ODA_ACQUIRE(mu) : mu_(&mu) { mu.lock(); }
+  explicit MutexLock(Mutex& mu) ODA_ACQUIRE(mu) : mu_(&mu) {
+    if (!contention::enabled()) {
+      mu.lock();
+      return;
+    }
+    if (mu.try_lock()) return;
+    const auto wait_start = std::chrono::steady_clock::now();
+    mu.lock();
+    waited_s_ = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wait_start)
+                    .count();
+    contention::record_wait(mu.rank(), waited_s_);
+  }
   ~MutexLock() ODA_RELEASE() { mu_->unlock(); }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
 
+  /// Seconds this acquisition blocked (0.0 on the fast path).
+  double waited_s() const noexcept { return waited_s_; }
+
  private:
   friend class CondVar;
   Mutex* mu_;
+  double waited_s_ = 0.0;
 };
 
 /// Scoped exclusive lock on a SharedMutex (the std::unique_lock replacement
@@ -174,22 +221,17 @@ class ODA_SCOPED_CAPABILITY MutexLock {
 class ODA_SCOPED_CAPABILITY WriterLock {
  public:
   explicit WriterLock(SharedMutex& mu) ODA_ACQUIRE(mu) : mu_(&mu) {
-    mu.lock();
-  }
-
-  /// Timed acquire for contention accounting: the uncontended fast path is
-  /// one try_lock with zero clock reads; only a real wait pays for timing,
-  /// added into `waited_s`. Replaces the store's hand-rolled
-  /// try_lock-then-time pattern with an exception-safe scope the analysis
-  /// understands.
-  WriterLock(SharedMutex& mu, double& waited_s) ODA_ACQUIRE(mu) : mu_(&mu) {
-    if (!mu.try_lock()) {
-      const auto wait_start = std::chrono::steady_clock::now();
+    if (!contention::enabled()) {
       mu.lock();
-      waited_s += std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - wait_start)
-                      .count();
+      return;
     }
+    if (mu.try_lock()) return;
+    const auto wait_start = std::chrono::steady_clock::now();
+    mu.lock();
+    waited_s_ = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wait_start)
+                    .count();
+    contention::record_wait(mu.rank(), waited_s_);
   }
 
   ~WriterLock() ODA_RELEASE() { mu_->unlock(); }
@@ -197,23 +239,41 @@ class ODA_SCOPED_CAPABILITY WriterLock {
   WriterLock(const WriterLock&) = delete;
   WriterLock& operator=(const WriterLock&) = delete;
 
+  /// Seconds this acquisition blocked (0.0 on the fast path).
+  double waited_s() const noexcept { return waited_s_; }
+
  private:
   SharedMutex* mu_;
+  double waited_s_ = 0.0;
 };
 
 /// Scoped shared (reader) lock on a SharedMutex.
 class ODA_SCOPED_CAPABILITY ReaderLock {
  public:
   explicit ReaderLock(SharedMutex& mu) ODA_ACQUIRE_SHARED(mu) : mu_(&mu) {
+    if (!contention::enabled()) {
+      mu.lock_shared();
+      return;
+    }
+    if (mu.try_lock_shared()) return;
+    const auto wait_start = std::chrono::steady_clock::now();
     mu.lock_shared();
+    waited_s_ = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wait_start)
+                    .count();
+    contention::record_wait(mu.rank(), waited_s_);
   }
   ~ReaderLock() ODA_RELEASE() { mu_->unlock_shared(); }
 
   ReaderLock(const ReaderLock&) = delete;
   ReaderLock& operator=(const ReaderLock&) = delete;
 
+  /// Seconds this acquisition blocked (0.0 on the fast path).
+  double waited_s() const noexcept { return waited_s_; }
+
  private:
   SharedMutex* mu_;
+  double waited_s_ = 0.0;
 };
 
 // ------------------------------------------------------------------- condvar

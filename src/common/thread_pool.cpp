@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_watch.hpp"
+
 namespace oda {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -17,10 +19,36 @@ ThreadPool::ThreadPool(std::size_t threads) {
 ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::worker_loop() {
-  while (auto task = tasks_.pop()) {
+  // Register with the thread-watch registry so the sampling profiler can
+  // signal this worker (obs/profiler.hpp). One registration per worker
+  // lifetime; a no-op with profiling compiled out.
+  WatchedThreadScope watch("pool.worker");
+  for (;;) {
+    // relaxed (both): parked_workers() is an advisory gauge — a reader
+    // catching the counter mid-update just sees the worker as (not yet)
+    // parked, both of which are momentarily true.
+    parked_.fetch_add(1, std::memory_order_relaxed);
+    auto task = tasks_.pop();
+    parked_.fetch_sub(1, std::memory_order_relaxed);
+    if (!task) break;
     (*task)();
     task_done();
   }
+}
+
+void ThreadPool::set_task_timing_hook(std::function<void(double, double)> hook) {
+  timing_hook_ = std::move(hook);
+  // release: publishes the hook object to workers' acquire loads (submit).
+  timing_armed_.store(static_cast<bool>(timing_hook_),
+                      std::memory_order_release);
+}
+
+void ThreadPool::note_task_timing(
+    std::chrono::steady_clock::time_point enqueued,
+    std::chrono::steady_clock::time_point started) {
+  const auto finished = std::chrono::steady_clock::now();
+  timing_hook_(std::chrono::duration<double>(started - enqueued).count(),
+               std::chrono::duration<double>(finished - started).count());
 }
 
 void ThreadPool::task_done() {

@@ -2,6 +2,7 @@
 // helper. Collectors and batch analytics use it to fan work across cores.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -50,6 +51,21 @@ class ThreadPool {
   std::size_t pending() const {
     return pending_.load(std::memory_order_relaxed);
   }
+  /// Workers currently blocked in (or entering) the queue pop — the
+  /// "idle capacity right now" gauge for scheduler attribution.
+  // relaxed: statistics gauge; synchronizes nothing.
+  std::size_t parked_workers() const {
+    return parked_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs a per-task timing hook: hook(queue_wait_s, run_s) is invoked
+  /// on the worker after each queued task finishes (inline-run rejected
+  /// tasks are not timed — they never waited in the queue). Install during
+  /// setup, before tasks are submitted, and at most once per quiescent
+  /// period: the hook object itself is unsynchronized after arming.
+  /// obs::register_thread_pool uses this to fill the
+  /// oda_pool_task_{queue_wait,run}_seconds histograms.
+  void set_task_timing_hook(std::function<void(double, double)> hook);
 
   /// Submits a callable; the returned future yields its result.
   template <typename F>
@@ -65,16 +81,38 @@ class ThreadPool {
     pending_.fetch_add(1, std::memory_order_relaxed);
     // relaxed: statistics counter (see submitted_count()).
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    // Queue-wait attribution: when a timing hook is armed, stamp the
+    // enqueue time so the worker can report wait and run durations.
+    // acquire: pairs with the release in set_task_timing_hook so the hook
+    // object is fully constructed before the worker invokes it.
+    const bool timed = timing_armed_.load(std::memory_order_acquire);
+    const auto enqueued = timed ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
 #if ODA_TRACING_ENABLED
     // Capture the submitter's trace context so spans opened inside the task
     // stay children of the span that submitted it (causal tracing across the
     // pool boundary). Costs one thread-local read + a 16-byte copy.
-    const bool accepted = tasks_.push([task, ctx = current_trace_context()] {
-      TraceContextScope trace_scope(ctx);
-      (*task)();
-    });
+    const bool accepted = tasks_.push(
+        [this, task, timed, enqueued, ctx = current_trace_context()] {
+          TraceContextScope trace_scope(ctx);
+          if (timed) {
+            const auto started = std::chrono::steady_clock::now();
+            (*task)();
+            note_task_timing(enqueued, started);
+          } else {
+            (*task)();
+          }
+        });
 #else
-    const bool accepted = tasks_.push([task] { (*task)(); });
+    const bool accepted = tasks_.push([this, task, timed, enqueued] {
+      if (timed) {
+        const auto started = std::chrono::steady_clock::now();
+        (*task)();
+        note_task_timing(enqueued, started);
+      } else {
+        (*task)();
+      }
+    });
 #endif
     if (!accepted) {
       // Pool already shut down: run inline so the future is still satisfied.
@@ -99,16 +137,23 @@ class ThreadPool {
  private:
   void worker_loop();
   void task_done();
+  void note_task_timing(std::chrono::steady_clock::time_point enqueued,
+                        std::chrono::steady_clock::time_point started);
 
   BlockingQueue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
   std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> parked_{0};
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  /// Written once during setup (set_task_timing_hook), then read by
+  /// workers behind the timing_armed_ acquire/release edge.
+  std::function<void(double, double)> timing_hook_;
+  std::atomic<bool> timing_armed_{false};
   /// Leaf lock (unranked): only pairs idle_cv_ with the pending_ == 0 edge;
   /// no other lock is ever taken while holding it.
-  Mutex idle_mu_;
+  Mutex idle_mu_{LockRankId::kPool};
   CondVar idle_cv_;
 };
 

@@ -1,0 +1,234 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+namespace oda::obs {
+
+namespace {
+
+/// Cap on tree depth during the walk: a well-formed trace is a few levels
+/// deep; anything deeper means corrupt parent ids (or a cycle dodged by
+/// the in-stack check) and is treated as a leaf.
+constexpr std::size_t kMaxDepth = 512;
+
+struct Node {
+  const TraceEvent* ev = nullptr;
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::vector<std::size_t> children;  // sorted: end desc, start desc, id asc
+  bool on_stack = false;
+};
+
+struct Walker {
+  std::vector<Node>& nodes;
+  // Per-name aggregation (std::map: deterministic iteration for `top`
+  // tie-breaking and rendering).
+  std::map<std::string, SpanAgg>& agg;
+  std::uint64_t total_busy = 0;
+  std::size_t span_count = 0;
+
+  /// Attributes the window [wlo, whi) of `node` to critical-path segments:
+  /// scanning from the window's end backwards, each slice belongs to the
+  /// latest-ending child covering it, recursively; uncovered slices are
+  /// the node's own critical-path self time. Returns the attributed total
+  /// (== whi - wlo for a span covering its window).
+  std::uint64_t walk(std::size_t idx, std::uint64_t wlo, std::uint64_t whi,
+                     std::size_t depth) {
+    Node& node = nodes[idx];
+    const std::uint64_t lo = std::max(node.start, wlo);
+    const std::uint64_t hi = std::min(node.end, whi);
+    if (hi <= lo) return 0;
+    SpanAgg& a = agg[node.ev->name];
+    if (a.name.empty()) a.name = node.ev->name;
+    if (depth >= kMaxDepth) {
+      a.cp_us += hi - lo;
+      return hi - lo;
+    }
+    node.on_stack = true;
+    std::uint64_t frontier = hi;
+    std::uint64_t cp = 0;
+    for (const std::size_t child_idx : node.children) {
+      const Node& child = nodes[child_idx];
+      if (child.on_stack) continue;  // corrupt parent chain (cycle)
+      const std::uint64_t child_end = std::min(child.end, frontier);
+      if (child_end <= lo || child.start >= frontier) continue;
+      if (frontier > child_end) {
+        // Slice (child_end, frontier]: no later-ending child covers it —
+        // the node itself is on the critical path here.
+        a.cp_us += frontier - child_end;
+        cp += frontier - child_end;
+      }
+      cp += walk(child_idx, lo, child_end, depth + 1);
+      frontier = std::max(child.start, lo);
+      if (frontier <= lo) break;
+    }
+    if (frontier > lo) {
+      a.cp_us += frontier - lo;
+      cp += frontier - lo;
+    }
+    node.on_stack = false;
+    return cp;
+  }
+
+  /// Accumulates per-span busy (self) time: duration minus the union of
+  /// child intervals clamped to the span. Also counts spans in the tree.
+  void accumulate_self(std::size_t idx, std::size_t depth) {
+    Node& node = nodes[idx];
+    if (node.on_stack || depth >= kMaxDepth) return;
+    node.on_stack = true;
+    ++span_count;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ivals;
+    ivals.reserve(node.children.size());
+    for (const std::size_t child_idx : node.children) {
+      const Node& child = nodes[child_idx];
+      const std::uint64_t s = std::max(child.start, node.start);
+      const std::uint64_t e = std::min(child.end, node.end);
+      if (e > s) ivals.emplace_back(s, e);
+      accumulate_self(child_idx, depth + 1);
+    }
+    std::sort(ivals.begin(), ivals.end());
+    std::uint64_t covered = 0;
+    std::uint64_t cursor = node.start;
+    for (const auto& [s, e] : ivals) {
+      const std::uint64_t from = std::max(s, cursor);
+      if (e > from) {
+        covered += e - from;
+        cursor = e;
+      }
+    }
+    const std::uint64_t dur = node.end - node.start;
+    const std::uint64_t self = dur - std::min(covered, dur);
+    SpanAgg& a = agg[node.ev->name];
+    if (a.name.empty()) a.name = node.ev->name;
+    a.count += 1;
+    a.self_us += self;
+    total_busy += self;
+    node.on_stack = false;
+  }
+};
+
+}  // namespace
+
+std::vector<CriticalPathReport> analyze_critical_path(
+    const std::vector<TraceEvent>& events, std::size_t top_n) {
+  // Group span events by trace id, preserving deterministic trace order.
+  std::map<std::uint64_t, std::vector<const TraceEvent*>> traces;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind != TraceEventKind::kSpan || ev.trace_id == 0) continue;
+    traces[ev.trace_id].push_back(&ev);
+  }
+
+  std::vector<CriticalPathReport> reports;
+  for (auto& [trace_id, spans] : traces) {
+    // Stable node order: by span id (unique per span; duplicates — which a
+    // well-formed tracer never emits — keep the first occurrence).
+    std::sort(spans.begin(), spans.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                if (a->span_id != b->span_id) return a->span_id < b->span_id;
+                return a->ts_us < b->ts_us;
+              });
+    std::vector<Node> nodes;
+    nodes.reserve(spans.size());
+    std::unordered_map<std::uint64_t, std::size_t> by_id;
+    by_id.reserve(spans.size());
+    for (const TraceEvent* ev : spans) {
+      if (by_id.count(ev->span_id) != 0) continue;
+      Node node;
+      node.ev = ev;
+      node.start = ev->ts_us;
+      node.end = ev->ts_us + ev->dur_us;
+      by_id.emplace(ev->span_id, nodes.size());
+      nodes.push_back(std::move(node));
+    }
+    std::vector<std::size_t> roots;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const TraceEvent* ev = nodes[i].ev;
+      const auto parent = by_id.find(ev->parent_id);
+      if (ev->parent_id == 0 || parent == by_id.end() ||
+          parent->second == i) {
+        roots.push_back(i);
+      } else {
+        nodes[parent->second].children.push_back(i);
+      }
+    }
+    for (Node& node : nodes) {
+      std::sort(node.children.begin(), node.children.end(),
+                [&nodes](std::size_t a, std::size_t b) {
+                  const Node& na = nodes[a];
+                  const Node& nb = nodes[b];
+                  if (na.end != nb.end) return na.end > nb.end;
+                  if (na.start != nb.start) return na.start > nb.start;
+                  return na.ev->span_id < nb.ev->span_id;
+                });
+    }
+
+    for (const std::size_t root : roots) {
+      std::map<std::string, SpanAgg> agg;
+      Walker walker{nodes, agg};
+      CriticalPathReport report;
+      report.trace_id = trace_id;
+      report.root_span_id = nodes[root].ev->span_id;
+      report.root_name = nodes[root].ev->name;
+      report.root_start_us = nodes[root].start;
+      report.root_dur_us = nodes[root].end - nodes[root].start;
+      report.critical_path_us =
+          walker.walk(root, nodes[root].start, nodes[root].end, 0);
+      walker.accumulate_self(root, 0);
+      report.total_busy_us = walker.total_busy;
+      report.span_count = walker.span_count;
+      report.parallelism =
+          report.root_dur_us == 0
+              ? 0.0
+              : static_cast<double>(report.total_busy_us) /
+                    static_cast<double>(report.root_dur_us);
+      report.top.reserve(agg.size());
+      for (auto& [name, a] : agg) report.top.push_back(std::move(a));
+      std::sort(report.top.begin(), report.top.end(),
+                [](const SpanAgg& a, const SpanAgg& b) {
+                  if (a.cp_us != b.cp_us) return a.cp_us > b.cp_us;
+                  if (a.self_us != b.self_us) return a.self_us > b.self_us;
+                  return a.name < b.name;
+                });
+      if (report.top.size() > top_n) report.top.resize(top_n);
+      reports.push_back(std::move(report));
+    }
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const CriticalPathReport& a, const CriticalPathReport& b) {
+              if (a.root_dur_us != b.root_dur_us) {
+                return a.root_dur_us > b.root_dur_us;
+              }
+              if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+              return a.root_span_id < b.root_span_id;
+            });
+  return reports;
+}
+
+std::string render_critical_path(
+    const std::vector<CriticalPathReport>& reports) {
+  std::string out;
+  char line[256];
+  for (const CriticalPathReport& r : reports) {
+    std::snprintf(line, sizeof(line),
+                  "trace %s root '%s' dur %.3f ms critical_path %.3f ms "
+                  "busy %.3f ms parallelism %.2f spans %zu\n",
+                  trace_id_hex(r.trace_id).c_str(), r.root_name.c_str(),
+                  r.root_dur_us / 1000.0, r.critical_path_us / 1000.0,
+                  r.total_busy_us / 1000.0, r.parallelism, r.span_count);
+    out += line;
+    for (const SpanAgg& a : r.top) {
+      std::snprintf(line, sizeof(line),
+                    "  %-32s count %6llu self %10.3f ms on-path %10.3f ms\n",
+                    a.name.c_str(), static_cast<unsigned long long>(a.count),
+                    a.self_us / 1000.0, a.cp_us / 1000.0);
+      out += line;
+    }
+  }
+  if (out.empty()) out = "no traced spans\n";
+  return out;
+}
+
+}  // namespace oda::obs

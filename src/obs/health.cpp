@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <map>
 
+#include "common/contention.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 
 namespace oda::obs {
@@ -284,7 +286,7 @@ std::string render_cell_costs(const MetricsSnapshot& snap) {
 }
 
 InstrumentationHandles register_thread_pool(MetricsRegistry& registry,
-                                            const ThreadPool& pool,
+                                            ThreadPool& pool,
                                             const std::string& pool_label) {
   InstrumentationHandles out;
   const LabelSet labels = {{"pool", pool_label}};
@@ -294,6 +296,10 @@ InstrumentationHandles register_thread_pool(MetricsRegistry& registry,
   out.handles.push_back(registry.gauge_callback(
       "oda_pool_threads", "Worker threads in the pool", labels,
       [&pool] { return static_cast<double>(pool.thread_count()); }));
+  out.handles.push_back(registry.gauge_callback(
+      "oda_pool_workers_parked",
+      "Workers currently blocked waiting for a task", labels,
+      [&pool] { return static_cast<double>(pool.parked_workers()); }));
   out.handles.push_back(registry.counter_callback(
       "oda_pool_submitted_total", "Tasks submitted to the pool", labels,
       [&pool] { return static_cast<double>(pool.submitted_count()); }));
@@ -305,6 +311,68 @@ InstrumentationHandles register_thread_pool(MetricsRegistry& registry,
       "Tasks submitted after shutdown (executed inline on the submitter)",
       labels,
       [&pool] { return static_cast<double>(pool.rejected_count()); }));
+  // Scheduler attribution: the pool's timing hook pushes (queue-wait, run)
+  // pairs into two push-model histograms. The Histogram references stay
+  // valid for the registry's lifetime, so the hook may outlive `out`.
+  Histogram& wait_hist = registry.histogram(
+      "oda_pool_task_queue_wait_seconds",
+      "Time a task spent queued before a worker picked it up", labels);
+  Histogram& run_hist = registry.histogram(
+      "oda_pool_task_run_seconds", "Time a task spent executing", labels);
+  pool.set_task_timing_hook([&wait_hist, &run_hist](double wait_s,
+                                                    double run_s) {
+    wait_hist.observe(wait_s);
+    run_hist.observe(run_s);
+  });
+  return out;
+}
+
+InstrumentationHandles register_lock_contention(MetricsRegistry& registry) {
+  InstrumentationHandles out;
+  for (std::size_t r = 0; r < kLockRankCount; ++r) {
+    const auto rank = static_cast<LockRankId>(r);
+    const LabelSet labels = {{"rank", to_string(rank)}};
+    out.handles.push_back(registry.histogram_callback(
+        "oda_lock_wait_seconds",
+        "Blocking lock-acquisition wait time by lock_order rank", labels,
+        [rank] {
+          const contention::Snapshot snap = contention::snapshot(rank);
+          HistogramSnapshot h;
+          h.bounds.assign(contention::kWaitBounds.begin(),
+                          contention::kWaitBounds.end());
+          h.counts.assign(snap.buckets.begin(), snap.buckets.end());
+          h.sum = snap.wait_seconds;
+          return h;
+        }));
+    out.handles.push_back(registry.counter_callback(
+        "oda_lock_contended_total",
+        "Lock acquisitions that lost their try_lock fast path", labels,
+        [rank] {
+          return static_cast<double>(contention::snapshot(rank).contended);
+        }));
+  }
+  return out;
+}
+
+InstrumentationHandles register_profiler(MetricsRegistry& registry,
+                                         const SamplingProfiler& profiler,
+                                         const std::string& profiler_label) {
+  InstrumentationHandles out;
+  const LabelSet labels = {{"profiler", profiler_label}};
+  out.handles.push_back(registry.counter_callback(
+      "oda_profiler_samples_total", "Stack samples written to profiler rings",
+      labels,
+      [&profiler] { return static_cast<double>(profiler.sampled_total()); }));
+  out.handles.push_back(registry.counter_callback(
+      "oda_profiler_truncated_total",
+      "Stack walks cut short by depth or frame-pointer checks", labels,
+      [&profiler] {
+        return static_cast<double>(profiler.truncated_total());
+      }));
+  out.handles.push_back(registry.gauge_callback(
+      "oda_profiler_threads_watched",
+      "Threads with a sample ring attached in the current run", labels,
+      [&profiler] { return static_cast<double>(profiler.thread_count()); }));
   return out;
 }
 

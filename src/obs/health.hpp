@@ -57,13 +57,37 @@ struct InstrumentationHandles {
   std::vector<CallbackHandle> handles;
 };
 
-/// Exports a ThreadPool's queue depth and task counters:
+/// Exports a ThreadPool's queue depth, task counters, and scheduler
+/// attribution:
 ///   oda_pool_pending_tasks{pool=}, oda_pool_threads{pool=},
+///   oda_pool_workers_parked{pool=},
 ///   oda_pool_submitted_total{pool=}, oda_pool_completed_total{pool=},
-///   oda_pool_rejected_total{pool=}.
+///   oda_pool_rejected_total{pool=},
+///   oda_pool_task_queue_wait_seconds{pool=} (histogram),
+///   oda_pool_task_run_seconds{pool=} (histogram).
+/// Takes the pool by mutable reference because it installs the per-task
+/// timing hook (ThreadPool::set_task_timing_hook) that feeds the two
+/// histograms — so call it during setup, before work is submitted. No
+/// steal counters are exported: the pool uses a single shared queue, so
+/// queue-wait already captures all scheduling delay.
 InstrumentationHandles register_thread_pool(MetricsRegistry& registry,
-                                            const ThreadPool& pool,
+                                            ThreadPool& pool,
                                             const std::string& pool_label);
+
+/// Exports the process-wide lock contention table (common/contention.hpp):
+///   oda_lock_wait_seconds{rank=} (histogram of blocking-acquire waits),
+///   oda_lock_contended_total{rank=} (contended acquisitions).
+/// One series per lock_order rank (including "unranked"), registered
+/// eagerly so dashboards see explicit zeros. Replaces the store's one-off
+/// oda_store_shard_lock_wait_seconds gauge (kept as a deprecated alias).
+InstrumentationHandles register_lock_contention(MetricsRegistry& registry);
+
+/// Exports sampling-profiler meta-statistics (obs/profiler.hpp):
+///   oda_profiler_samples_total{profiler=}, oda_profiler_truncated_total
+///   {profiler=}, oda_profiler_threads_watched{profiler=}.
+InstrumentationHandles register_profiler(MetricsRegistry& registry,
+                                         const class SamplingProfiler& profiler,
+                                         const std::string& profiler_label);
 
 /// Exports tracer buffer pressure:
 ///   oda_trace_events{tracer=}, oda_trace_dropped_total{tracer=}.

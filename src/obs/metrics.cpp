@@ -279,6 +279,28 @@ CallbackHandle MetricsRegistry::counter_callback(const std::string& name,
   return add_callback(name, help, MetricType::kCounter, labels, std::move(fn));
 }
 
+CallbackHandle MetricsRegistry::histogram_callback(
+    const std::string& name, const std::string& help, const LabelSet& labels,
+    std::function<HistogramSnapshot()> fn) {
+  validate_metric_name(name);
+  ODA_REQUIRE(fn != nullptr, "metric callback must not be null");
+  const LabelSet sorted = sorted_labels(labels);
+  MutexLock lock(mu_);
+  const auto fam = families_.find(name);
+  ODA_REQUIRE(fam == families_.end() ||
+                  fam->second.type == MetricType::kHistogram,
+              "metric family re-registered with a different type: " + name);
+  CallbackSeries cb;
+  cb.id = next_callback_id_++;
+  cb.name = name;
+  cb.help = help;
+  cb.type = MetricType::kHistogram;
+  cb.labels = sorted;
+  cb.hist_fn = std::move(fn);
+  callbacks_.push_back(std::move(cb));
+  return CallbackHandle(this, callbacks_.back().id);
+}
+
 void MetricsRegistry::remove_callback(std::uint64_t id) {
   MutexLock lock(mu_);
   callbacks_.erase(std::remove_if(callbacks_.begin(), callbacks_.end(),
@@ -335,10 +357,24 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       snap.families.push_back(std::move(fam));
     }
     MetricFamily& fam = snap.families[index[cb.name]];
-    SeriesValue v;
-    v.labels = cb.labels;
-    v.value = cb.fn();
-    fam.values.push_back(std::move(v));
+    if (cb.type == MetricType::kHistogram) {
+      HistogramSnapshot hs = cb.hist_fn();
+      HistogramValue h;
+      h.labels = cb.labels;
+      h.bounds = std::move(hs.bounds);
+      h.counts = std::move(hs.counts);
+      h.counts.resize(h.bounds.size() + 1);  // tolerate short callbacks
+      h.sum = hs.sum;
+      // Derive _count from the buckets so the cumulative +Inf bucket always
+      // equals _count, even if the callback read racing atomics.
+      for (const std::uint64_t c : h.counts) h.count += c;
+      fam.histograms.push_back(std::move(h));
+    } else {
+      SeriesValue v;
+      v.labels = cb.labels;
+      v.value = cb.fn();
+      fam.values.push_back(std::move(v));
+    }
   }
   return snap;
 }

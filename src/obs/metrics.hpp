@@ -150,6 +150,18 @@ struct MetricFamily {
   std::vector<HistogramValue> histograms;   // histogram families
 };
 
+/// Point-in-time histogram state returned by a histogram callback (pull
+/// model). `counts` are per-bucket (non-cumulative) and must have exactly
+/// bounds.size() + 1 entries (the last is the +Inf bucket). The exported
+/// _count is derived from the bucket sum, not taken from `count`, so the
+/// +Inf cumulative bucket always equals _count even when the callback reads
+/// concurrently-updated atomics.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1
+  double sum = 0.0;
+};
+
 /// A point-in-time copy of every registered series. Individual series are
 /// read atomically but the snapshot as a whole is not a consistent cut —
 /// standard scrape semantics.
@@ -219,6 +231,13 @@ class MetricsRegistry {
                                                 const std::string& help,
                                                 const LabelSet& labels,
                                                 std::function<double()> fn);
+  /// Histogram variant: the callback returns the full bucket state each
+  /// scrape (e.g. the lock-contention table in common/contention.hpp, whose
+  /// atomics live outside the registry). Same re-registration and
+  /// no-reentrancy rules as the scalar callbacks.
+  [[nodiscard]] CallbackHandle histogram_callback(
+      const std::string& name, const std::string& help, const LabelSet& labels,
+      std::function<HistogramSnapshot()> fn);
 
   MetricsSnapshot snapshot() const ODA_EXCLUDES(mu_);
 
@@ -242,7 +261,8 @@ class MetricsRegistry {
     std::string help;
     MetricType type = MetricType::kGauge;
     LabelSet labels;
-    std::function<double()> fn;
+    std::function<double()> fn;                    // counter/gauge callbacks
+    std::function<HistogramSnapshot()> hist_fn;    // histogram callbacks
   };
 
   friend class CallbackHandle;
@@ -258,7 +278,7 @@ class MetricsRegistry {
   /// must not re-enter the registry — but may log or trace (both rank
   /// below metrics).
   mutable Mutex mu_ ODA_ACQUIRED_AFTER(lock_order::metrics)
-      ODA_ACQUIRED_BEFORE(lock_order::trace);
+      ODA_ACQUIRED_BEFORE(lock_order::trace){LockRankId::kMetrics};
   std::map<std::string, Family> families_ ODA_GUARDED_BY(mu_);
   std::vector<CallbackSeries> callbacks_ ODA_GUARDED_BY(mu_);
   std::uint64_t next_callback_id_ ODA_GUARDED_BY(mu_) = 1;

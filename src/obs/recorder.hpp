@@ -122,7 +122,7 @@ class FlightRecorder {
   // via the sequence word, so there is no capability the analysis could
   // associate with the payload atomics.
   mutable Mutex mu_ ODA_ACQUIRED_AFTER(lock_order::trace)
-      ODA_ACQUIRED_BEFORE(lock_order::log);
+      ODA_ACQUIRED_BEFORE(lock_order::log){LockRankId::kTrace};
   std::vector<std::shared_ptr<Ring>> rings_ ODA_GUARDED_BY(mu_);
   std::uint32_t next_tid_ ODA_GUARDED_BY(mu_) = 1;
   std::string dump_path_ ODA_GUARDED_BY(mu_);

@@ -106,7 +106,7 @@ class MessageBus {
   /// Outermost data-plane lock: publish() nests store/metrics/log work
   /// under the snapshot taken here (via subscribers), never the reverse.
   mutable Mutex mu_ ODA_ACQUIRED_AFTER(lock_order::bus)
-      ODA_ACQUIRED_BEFORE(lock_order::health);
+      ODA_ACQUIRED_BEFORE(lock_order::health){LockRankId::kBus};
   std::vector<Subscription> subs_ ODA_GUARDED_BY(mu_);
   SubscriptionId next_id_ ODA_GUARDED_BY(mu_) = 1;
   /// Top-level path prefixes already warned about as unrouted (bounded by

@@ -159,7 +159,7 @@ class SensorHealthTracker {
   HealthPolicy policy_;
   MessageBus* bus_;
   mutable Mutex mu_ ODA_ACQUIRED_AFTER(lock_order::health)
-      ODA_ACQUIRED_BEFORE(lock_order::store_shard);
+      ODA_ACQUIRED_BEFORE(lock_order::store_shard){LockRankId::kHealth};
   std::unordered_map<std::uint32_t, SeriesHealth> series_ ODA_GUARDED_BY(mu_);
   std::vector<RangeRule> ranges_ ODA_GUARDED_BY(mu_);
   std::uint64_t transitions_ ODA_GUARDED_BY(mu_) = 0;

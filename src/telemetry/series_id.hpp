@@ -76,7 +76,7 @@ class SeriesInterner {
   /// Store shards hold their lock across path(id) lookups, so the interner
   /// sits between the shard and metrics levels.
   mutable SharedMutex mu_ ODA_ACQUIRED_AFTER(lock_order::interner)
-      ODA_ACQUIRED_BEFORE(lock_order::metrics);
+      ODA_ACQUIRED_BEFORE(lock_order::metrics){LockRankId::kInterner};
   std::unordered_map<std::string, std::uint32_t> ids_ ODA_GUARDED_BY(mu_);
   // Deque so path(id) references stay valid while intern() appends.
   std::deque<std::string> paths_ ODA_GUARDED_BY(mu_);

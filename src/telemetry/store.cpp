@@ -136,7 +136,8 @@ TimeSeriesStore::TimeSeriesStore(std::size_t capacity_per_sensor,
     const obs::LabelSet labels = {{"shard", std::to_string(i)}};
     shard_lock_wait_.push_back(&obs::MetricsRegistry::global().gauge(
         "oda_store_shard_lock_wait_seconds",
-        "Cumulative time insert_batch() spent acquiring this shard's lock",
+        "DEPRECATED alias of oda_lock_wait_seconds{rank=\"store_shard\"}: "
+        "cumulative time insert paths spent acquiring this shard's lock",
         labels));
     shard_series_.push_back(&obs::MetricsRegistry::global().gauge(
         "oda_store_shard_series", "Series stored in this shard (occupancy)",
@@ -165,6 +166,12 @@ void TimeSeriesStore::insert(SeriesId id, Sample sample) {
   {
     Shard& shard = shard_of(id);
     WriterLock lock(shard.mu);
+    // Single-sample inserts now feed the legacy wait gauge too — before the
+    // uniform accounting they were invisible to it (the under-count fixed
+    // by the contention table migration).
+    if (lock.waited_s() > 0.0) {
+      shard_lock_wait_[id.value & shard_mask_]->add(lock.waited_s());
+    }
     series_locked(shard, id).samples.push(sample);
   }
   // relaxed: monotonic statistics counter (see total_inserted()).
@@ -211,14 +218,13 @@ void TimeSeriesStore::insert_batch(std::span<const IdReading> readings) {
     const std::uint32_t hi = counts[s + 1];
     if (lo == hi) continue;
     Shard& shard = *shards_[s];
-    // Uncontended fast path: WriterLock's timed constructor try_locks first
-    // and skips the two clock reads; the wait gauge only pays for timing
-    // when there is a real wait. The gauge update happens while the lock is
-    // already held (the gauge itself is atomic, so this is for accounting
-    // locality, not correctness).
-    double waited_s = 0.0;
-    WriterLock lock(shard.mu, waited_s);
-    if (waited_s > 0.0) shard_lock_wait_[s]->add(waited_s);
+    // Wait accounting rides the uniform contention machinery in sync.hpp
+    // (try_lock fast path, timed slow path feeding the kStoreShard rank);
+    // waited_s() re-exports the same measurement into the legacy per-shard
+    // gauge, kept one release as a deprecated alias of
+    // oda_lock_wait_seconds{rank="store_shard"}.
+    WriterLock lock(shard.mu);
+    if (lock.waited_s() > 0.0) shard_lock_wait_[s]->add(lock.waited_s());
     for (std::uint32_t k = lo; k < hi; ++k) {
       const IdReading& r = readings[order[k]];
       series_locked(shard, r.id).samples.push(r.sample);
@@ -399,6 +405,10 @@ SeriesSlice TimeSeriesStore::query_aggregated(const std::string& path,
 void TimeSeriesStore::fill_column(Frame& f, std::size_t col, SeriesId id,
                                   TimePoint from, TimePoint to, Duration bucket,
                                   Aggregation agg) const {
+  // Per-column span: under a parallel frame() these run on pool workers and
+  // carry the submitter's trace context, so the critical-path analyzer sees
+  // the fan-out width (frame_parallelism) directly from the trace.
+  ODA_TRACE_SPAN_CAT("store.fill_column", "store");
   const SeriesSlice slice = query_aggregated(id, from, to, bucket, agg);
   const std::size_t n_buckets = f.times.size();
   for (std::size_t i = 0; i < slice.size(); ++i) {
@@ -410,6 +420,7 @@ void TimeSeriesStore::fill_column(Frame& f, std::size_t col, SeriesId id,
 Frame TimeSeriesStore::frame(const std::vector<std::string>& sensor_paths,
                              TimePoint from, TimePoint to, Duration bucket,
                              Aggregation agg) const {
+  ODA_TRACE_SPAN_CAT("store.frame", "store");
   ODA_REQUIRE(bucket > 0, "frame bucket must be positive");
   Frame f;
   f.columns = sensor_paths;

@@ -169,7 +169,7 @@ class TimeSeriesStore {
   /// metric registration in series_locked, hence the BEFORE(interner) edge.
   struct Shard {
     mutable SharedMutex mu ODA_ACQUIRED_AFTER(lock_order::store_shard)
-        ODA_ACQUIRED_BEFORE(lock_order::interner);
+        ODA_ACQUIRED_BEFORE(lock_order::interner){LockRankId::kStoreShard};
     std::unordered_map<std::uint32_t, std::unique_ptr<Series>> series
         ODA_GUARDED_BY(mu);
   };

@@ -20,8 +20,10 @@
 #include "common/blocking_queue.hpp"
 #include "common/spsc_queue.hpp"
 #include "common/thread_pool.hpp"
+#include "common/thread_watch.hpp"
 #include "common/trace_context.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "telemetry/bus.hpp"
@@ -598,6 +600,78 @@ TEST(RaceCausalTracing, ContextPropagatesThroughPoolAndBusUnderStress) {
   tracer.clear();
   tracer.set_capacity(1 << 16);
 }
+
+#if ODA_PROFILING_ENABLED
+// The sampling profiler interrupts pipeline threads mid-instruction while
+// readers drain its seqlock rings: pool workers and bus publishers run
+// under SIGPROF fire while folded()/samples() snapshot concurrently. TSan
+// cannot instrument the signal handler's view, but it does see the
+// watcher/attach/reader interleavings, ring registration during thread
+// birth/death, and the stop() quiescence handshake — the places a latent
+// ordering bug would live.
+TEST(RaceStress, ProfilerSamplesConcurrentPipelineTraffic) {
+  obs::SamplingProfiler& prof = obs::SamplingProfiler::global();
+  obs::ProfilerOptions opts;
+  opts.interval_us = 500;
+  opts.ring_capacity = 256;
+  ASSERT_TRUE(prof.start(opts));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> delivered{0};
+  {
+    ThreadPool pool(3);  // workers self-register with the watch registry
+    telemetry::MessageBus bus;
+    bus.subscribe("prof/*", [&delivered](const telemetry::Reading&) {
+      delivered.fetch_add(1, std::memory_order_relaxed);
+    });
+
+    // Reader thread: snapshots rings while the handler writes into them.
+    std::thread reader([&] {
+      std::size_t seen = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        seen += prof.samples().size();
+        seen += prof.folded().size();
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      static_cast<void>(seen);
+    });
+
+    // A watched producer thread churning bus traffic under sampling.
+    std::thread producer([&] {
+      WatchedThreadScope scope("race.producer");
+      std::int64_t t = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        bus.publish("prof/node", ++t, 1.0);
+      }
+    });
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (int i = 0; i < 64; ++i) {
+        pool.submit([] {
+          volatile double sink = 0.0;
+          for (int k = 0; k < 2000; ++k) sink = sink + 1.0;
+        });
+      }
+      pool.wait_idle();
+    }
+    stop.store(true, std::memory_order_relaxed);
+    producer.join();
+    reader.join();
+    pool.shutdown();  // workers die (and deregister) while sampling runs
+  }
+  prof.stop();
+
+  EXPECT_GT(delivered.load(std::memory_order_relaxed), 0u);
+  EXPECT_GE(prof.thread_count(), 4u);  // 3 workers + producer
+  for (const auto& s : prof.samples()) {
+    EXPECT_FALSE(s.pcs.empty());
+    EXPECT_LE(s.pcs.size(), obs::kMaxProfFrames);
+  }
+  prof.clear();
+}
+#endif  // ODA_PROFILING_ENABLED
 
 }  // namespace
 }  // namespace oda

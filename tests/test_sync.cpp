@@ -1,6 +1,6 @@
 // Annotated-synchronization-layer tests (common/sync.hpp): the RAII
 // wrappers and CondVar behave like the std primitives they replace, the
-// WriterLock timed constructor accounts contended waits only, and the
+// uniform wait accounting charges contended acquisitions only, and the
 // guarded-state bugs surfaced during the annotation pass stay fixed —
 // re-entrant health-bus subscribers, breaker-state observation during a
 // parallel pass, and FaultInjector moves under a live stuck fault.
@@ -70,17 +70,19 @@ TEST(SyncCondVar, WaitNotifyHandshake) {
   EXPECT_EQ(stage, 2);
 }
 
-TEST(SyncWriterLock, TimedAcquireIsFreeWhenUncontended) {
+TEST(SyncWriterLock, AcquireIsFreeWhenUncontended) {
   SharedMutex mu;
-  double waited_s = 0.0;
+  double waited_s = -1.0;
   {
-    WriterLock lock(mu, waited_s);
+    WriterLock lock(mu);
+    waited_s = lock.waited_s();
   }
   EXPECT_DOUBLE_EQ(waited_s, 0.0);
 }
 
-TEST(SyncWriterLock, TimedAcquireAccountsContendedWait) {
-  SharedMutex mu;
+TEST(SyncWriterLock, AcquireAccountsContendedWait) {
+  SharedMutex mu(LockRankId::kUnranked);
+  contention::reset();
   std::atomic<bool> holding{false};
   std::thread holder([&] {
     WriterLock lock(mu);
@@ -90,10 +92,16 @@ TEST(SyncWriterLock, TimedAcquireAccountsContendedWait) {
   while (!holding.load(std::memory_order_acquire)) std::this_thread::yield();
   double waited_s = 0.0;
   {
-    WriterLock lock(mu, waited_s);
+    WriterLock lock(mu);
+    waited_s = lock.waited_s();
   }
   holder.join();
   EXPECT_GT(waited_s, 0.0);
+  // The same wait must have landed in the per-rank contention table.
+  const contention::Snapshot snap =
+      contention::snapshot(LockRankId::kUnranked);
+  EXPECT_GE(snap.contended, 1u);
+  EXPECT_GT(snap.wait_seconds, 0.0);
 }
 
 TEST(SyncReaderLock, ReadersOverlapWritersExclude) {
