@@ -85,7 +85,7 @@ void BM_StoreFrame(benchmark::State& state) {
   }
   for (auto _ : state) {
     auto frame = store.frame(paths, 0, 5000, 60);
-    benchmark::DoNotOptimize(frame.values.data());
+    benchmark::DoNotOptimize(frame.column_values(0).data());
   }
 }
 BENCHMARK(BM_StoreFrame);

@@ -287,6 +287,52 @@ int main(int argc, char** argv) {
   report.add("frame_parallel_ms", frame_parallel_ms, "ms");
   report.add("frame_parallel_speedup", frame_ms / frame_parallel_ms, "x");
 
+  // ------------------------------------------- column-scaling curve
+  // Pooled frame() latency as frames widen (64 -> 1024 sensors): the CI
+  // smoke gate plots this to catch per-column fan-out overhead creeping
+  // back (the chunked parallel_for exists so that 1024 cheap columns do
+  // not pay 1024 task submissions).
+  {
+    const std::size_t cs_samples = quick ? 500 : 2000;
+    TimeSeriesStore wide_store(cs_samples + 1);
+    const std::vector<std::string> wide_paths = make_paths(1024);
+    std::vector<IdReading> seed_batch;
+    seed_batch.reserve(wide_paths.size());
+    std::vector<SeriesId> wide_ids;
+    wide_ids.reserve(wide_paths.size());
+    for (const auto& p : wide_paths) {
+      wide_ids.push_back(SeriesInterner::global().intern(p));
+    }
+    for (std::size_t t = 0; t < cs_samples; ++t) {
+      seed_batch.clear();
+      for (const SeriesId id : wide_ids) {
+        seed_batch.push_back(
+            {id, {static_cast<TimePoint>(t), static_cast<double>(t % 101)}});
+      }
+      wide_store.insert_batch(std::span<const IdReading>(seed_batch));
+    }
+    wide_store.set_pool(&pool);
+    const auto wide_to = static_cast<TimePoint>(cs_samples);
+    std::printf("frame width scaling (%zu samples/series, pooled):\n",
+                cs_samples);
+    for (const std::size_t cols : {std::size_t{64}, std::size_t{256},
+                                   std::size_t{1024}}) {
+      const std::vector<std::string> subset(wide_paths.begin(),
+                                            wide_paths.begin() +
+                                                static_cast<std::ptrdiff_t>(cols));
+      const int reps = quick ? 3 : 10;
+      const auto cs_start = std::chrono::steady_clock::now();
+      for (int r = 0; r < reps; ++r) {
+        sink += wide_store.frame(subset, 0, wide_to, 20, Aggregation::kMean)
+                    .rows();
+      }
+      const double cols_ms = seconds_since(cs_start) / reps * 1e3;
+      std::printf("  %4zu cols %10.2f ms\n", cols, cols_ms);
+      report.add("frame_cols_" + std::to_string(cols) + "_ms", cols_ms, "ms");
+    }
+    wide_store.set_pool(nullptr);
+  }
+
   // ---------------------------------------- trace-derived critical path
   // One pooled frame() runs under the tracer; the critical-path analyzer
   // (obs/critical_path.hpp) turns the span tree into the path length and a

@@ -81,10 +81,14 @@ int main(int argc, char** argv) {
   for (std::size_t r = 0; r < frame.rows(); ++r) {
     // Skip buckets before the first collection (all-NaN rows).
     bool any = false;
-    for (double v : frame.values[r]) any |= !std::isnan(v);
+    for (std::size_t c = 0; c < frame.cols(); ++c) {
+      any |= !std::isnan(frame.at(r, c));
+    }
     if (!any) continue;
     std::vector<double> row{static_cast<double>(frame.times[r])};
-    row.insert(row.end(), frame.values[r].begin(), frame.values[r].end());
+    for (std::size_t c = 0; c < frame.cols(); ++c) {
+      row.push_back(frame.at(r, c));
+    }
     csv.write_row(row);
   }
   std::fprintf(stderr, "wrote %zu rows x %zu columns\n", frame.rows(),

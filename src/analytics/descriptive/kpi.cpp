@@ -154,25 +154,27 @@ SieReport compute_sie(const telemetry::TimeSeriesStore& store,
   const auto frame = store.frame(used, from, to, bucket);
   if (frame.rows() < 2) return report;
 
-  // Per-column min/max for level quantization.
+  // Per-column min/max for level quantization: one contiguous stripe scan
+  // per column in the columnar layout.
   std::vector<double> lo(frame.cols(), std::numeric_limits<double>::infinity());
   std::vector<double> hi(frame.cols(), -std::numeric_limits<double>::infinity());
-  for (const auto& row : frame.values) {
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      if (std::isnan(row[c])) continue;
-      lo[c] = std::min(lo[c], row[c]);
-      hi[c] = std::max(hi[c], row[c]);
+  for (std::size_t c = 0; c < frame.cols(); ++c) {
+    for (double v : frame.column_values(c)) {
+      if (std::isnan(v)) continue;
+      lo[c] = std::min(lo[c], v);
+      hi[c] = std::max(hi[c], v);
     }
   }
 
   math::TransitionEntropy te;
   std::set<std::string> states;
-  for (const auto& row : frame.values) {
+  for (std::size_t r = 0; r < frame.rows(); ++r) {
     std::string symbol;
-    for (std::size_t c = 0; c < row.size(); ++c) {
+    for (std::size_t c = 0; c < frame.cols(); ++c) {
+      const double v = frame.at(r, c);
       std::size_t level = 0;
-      if (!std::isnan(row[c]) && hi[c] > lo[c]) {
-        level = static_cast<std::size_t>((row[c] - lo[c]) / (hi[c] - lo[c]) *
+      if (!std::isnan(v) && hi[c] > lo[c]) {
+        level = static_cast<std::size_t>((v - lo[c]) / (hi[c] - lo[c]) *
                                          static_cast<double>(levels));
         level = std::min(level, levels - 1);
       }

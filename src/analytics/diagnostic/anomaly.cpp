@@ -98,8 +98,8 @@ std::vector<double> window_features(const telemetry::Frame& frame) {
   for (std::size_t c = 0; c < frame.cols(); ++c) {
     std::vector<double> col;
     col.reserve(frame.rows());
-    for (std::size_t r = 0; r < frame.rows(); ++r) {
-      if (!std::isnan(frame.values[r][c])) col.push_back(frame.values[r][c]);
+    for (double v : frame.column_values(c)) {
+      if (!std::isnan(v)) col.push_back(v);
     }
     if (col.empty()) {
       features.insert(features.end(), {0.0, 0.0, 0.0});
@@ -141,8 +141,8 @@ std::vector<std::vector<double>> NodeAnomalyMonitor::batch_features(
     for (std::size_t c = 0; c < n_nodes; ++c) {
       std::vector<double> series;
       series.reserve(frame.rows());
-      for (std::size_t r = 0; r < frame.rows(); ++r) {
-        if (!std::isnan(frame.values[r][c])) series.push_back(frame.values[r][c]);
+      for (double v : frame.column_values(c)) {
+        if (!std::isnan(v)) series.push_back(v);
       }
       if (series.empty()) {
         features[c].insert(features[c].end(), {0.0, 0.0, 0.0});
@@ -233,8 +233,8 @@ void NodeAnomalyMonitor::train(const telemetry::TimeSeriesStore& store,
     }
     RunningStats fleet;
     const auto fleet_frame = store.frame(paths, from, to, params_.window);
-    for (const auto& row : fleet_frame.values) {
-      for (double v : row) {
+    for (std::size_t c = 0; c < fleet_frame.cols(); ++c) {
+      for (double v : fleet_frame.column_values(c)) {
         if (!std::isnan(v)) fleet.add(v);
       }
     }

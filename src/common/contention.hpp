@@ -5,8 +5,8 @@
 // no allocation — so recording from inside a lock acquisition can never
 // deadlock or invert the very hierarchy it measures. obs exports the table
 // as oda_lock_wait_seconds / oda_lock_contended_total (see
-// obs::register_lock_contention), replacing the store's one-off
-// oda_store_shard_lock_wait_seconds timing with a uniform mechanism.
+// obs::register_lock_contention) — the uniform mechanism that replaced the
+// store's one-off per-shard wait gauge.
 //
 // Disabled cost: one relaxed load of the arm flag per RAII acquisition.
 #pragma once

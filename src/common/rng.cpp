@@ -20,8 +20,11 @@ Rng::Rng(std::uint64_t seed) {
 Rng Rng::split(std::uint64_t tag) {
   // Mix the child tag with fresh output so distinct tags give independent
   // streams and repeated calls with the same tag give distinct streams.
-  std::uint64_t mix = next() ^ (tag * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL);
-  return Rng(mix);
+  return from_draw(next(), tag);
+}
+
+Rng Rng::from_draw(std::uint64_t base, std::uint64_t tag) {
+  return Rng(base ^ (tag * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL));
 }
 
 std::uint64_t Rng::next() {

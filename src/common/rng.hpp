@@ -31,6 +31,11 @@ class Rng {
   /// statistically independent of the parent and of each other.
   Rng split(std::uint64_t tag);
 
+  /// Derives a child stream from an already-drawn base value without
+  /// touching any generator state. Safe to call concurrently: draw `base`
+  /// once serially (one next()), then fan out with per-call distinct tags.
+  static Rng from_draw(std::uint64_t base, std::uint64_t tag);
+
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }
   result_type operator()() { return next(); }

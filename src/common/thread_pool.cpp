@@ -61,20 +61,78 @@ void ThreadPool::task_done() {
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      grain);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, thread_count() * 4);
-  const std::size_t chunk = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = begin; c < end; c += chunk) {
-    const std::size_t hi = std::min(c + chunk, end);
-    futures.push_back(submit([c, hi, &fn] {
-      for (std::size_t i = c; i < hi; ++i) fn(i);
-    }));
+  // ~8 chunks per thread by default: coarse enough that the atomic claim is
+  // noise, fine enough that one slow chunk can be balanced around.
+  if (grain == 0) grain = std::max<std::size_t>(1, n / (thread_count() * 8));
+  const std::size_t n_chunks = (n + grain - 1) / grain;
+  if (n_chunks == 1) {
+    body(begin, end);
+    return;
   }
-  for (auto& f : futures) f.get();
+  // relaxed: statistics counter (see parallel_for_calls()).
+  pf_calls_.fetch_add(1, std::memory_order_relaxed);
+
+  // Dynamic chunk claiming off one shared cursor: every participant —
+  // helper workers and the calling thread alike — loops fetch_add'ing the
+  // next chunk index until the range is drained. Helpers that start late
+  // (queue backlog) simply claim fewer chunks; a busy or 1-thread pool
+  // degrades to the caller draining everything itself, never to deadlock.
+  std::atomic<std::size_t> next{0};
+  const auto drain = [&] {
+    for (;;) {
+      // relaxed: the claim only needs atomicity (each chunk handed to one
+      // participant); the futures' get()/inline-run below order all chunk
+      // writes before parallel_for_chunks returns.
+      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= n_chunks) return;
+      // relaxed: statistics counter (see parallel_for_chunks_claimed()).
+      pf_chunks_.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t lo = begin + k * grain;
+      body(lo, std::min(lo + grain, end));
+    }
+  };
+  // References into this frame are safe: every future is get() below, so
+  // helpers cannot outlive the call (submit() runs rejected tasks inline).
+  const std::size_t helpers = std::min(thread_count(), n_chunks - 1);
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    futures.push_back(submit(drain));
+  }
+  // The caller works too instead of blocking — parallel_for costs nothing
+  // extra on a saturated pool and still finishes on a pool of one.
+  std::exception_ptr first_error;
+  try {
+    drain();
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  // Always join every helper (even after an error: they share this frame),
+  // then surface the first failure like the old one-future-per-chunk path.
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::wait_idle() {

@@ -124,9 +124,35 @@ class ThreadPool {
     return result;
   }
 
-  /// Runs fn(i) for i in [begin, end) across the pool and waits.
+  /// Runs fn(i) for i in [begin, end) across the pool and waits. Work is
+  /// split into chunks of `grain` indices claimed from a shared atomic
+  /// cursor, so threads that finish early steal the remaining chunks and
+  /// uneven per-index costs still balance; the calling thread participates,
+  /// so only min(thread_count, chunks - 1) helper tasks are ever submitted
+  /// (a 1000-index loop no longer pays 1000 task/queue round-trips).
+  /// grain == 0 auto-tunes to ~8 chunks per thread.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+  /// Chunk-granular variant: body(lo, hi) receives each claimed half-open
+  /// chunk, for callers that amortize per-chunk setup (RNG splits, trace
+  /// spans, buffers) across the indices inside it. Same claiming, balancing,
+  /// and caller-participation semantics as parallel_for.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body,
+      std::size_t grain = 0);
+
+  /// Lifetime totals for the chunked parallel_for machinery: calls that
+  /// actually fanned out, and chunks claimed (by helpers or the caller).
+  // relaxed (both): standalone statistics; they synchronize nothing.
+  std::uint64_t parallel_for_calls() const {
+    return pf_calls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t parallel_for_chunks_claimed() const {
+    return pf_chunks_.load(std::memory_order_relaxed);
+  }
 
   /// Blocks until every submitted task has finished.
   void wait_idle();
@@ -147,6 +173,8 @@ class ThreadPool {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> pf_calls_{0};
+  std::atomic<std::uint64_t> pf_chunks_{0};
   /// Written once during setup (set_task_timing_hook), then read by
   /// workers behind the timing_armed_ acquire/release edge.
   std::function<void(double, double)> timing_hook_;

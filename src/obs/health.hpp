@@ -78,8 +78,8 @@ InstrumentationHandles register_thread_pool(MetricsRegistry& registry,
 ///   oda_lock_wait_seconds{rank=} (histogram of blocking-acquire waits),
 ///   oda_lock_contended_total{rank=} (contended acquisitions).
 /// One series per lock_order rank (including "unranked"), registered
-/// eagerly so dashboards see explicit zeros. Replaces the store's one-off
-/// oda_store_shard_lock_wait_seconds gauge (kept as a deprecated alias).
+/// eagerly so dashboards see explicit zeros. The sole home of store shard
+/// lock-wait attribution (the old per-shard gauge alias is gone).
 InstrumentationHandles register_lock_contention(MetricsRegistry& registry);
 
 /// Exports sampling-profiler meta-statistics (obs/profiler.hpp):

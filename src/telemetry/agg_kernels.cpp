@@ -1,0 +1,217 @@
+#include "telemetry/agg_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+// Samples are interleaved {time, value} pairs, but each bucket run is reduced
+// with a single-purpose loop over non-overlapping spans; telling the
+// optimizer the two runs never alias keeps the strided value loads
+// vectorizable.
+#if defined(__GNUC__) || defined(__clang__)
+#define ODA_RESTRICT __restrict__
+#else
+#define ODA_RESTRICT
+#endif
+
+namespace oda::telemetry {
+
+namespace {
+
+/// Reduce policies: each reduces one bucket's samples — the concatenation of
+/// runs (p1, n1) and (p2, n2), n1 + n2 >= 1 — exactly as AggAccumulator
+/// would fold them. Only the state that aggregation needs is carried.
+struct SumReduce {
+  static double reduce(const Sample* ODA_RESTRICT p1, std::size_t n1,
+                       const Sample* ODA_RESTRICT p2, std::size_t n2) {
+    // Strict left-fold in sample order: FP addition is non-associative, and
+    // bit-identity with AggAccumulator::sum forbids reassociation.
+    double s = 0.0;
+    for (std::size_t i = 0; i < n1; ++i) s += p1[i].value;
+    for (std::size_t i = 0; i < n2; ++i) s += p2[i].value;
+    return s;
+  }
+};
+
+struct MeanReduce {
+  static double reduce(const Sample* ODA_RESTRICT p1, std::size_t n1,
+                       const Sample* ODA_RESTRICT p2, std::size_t n2) {
+    // AggAccumulator::result(kMean) is sum / count (not the Welford mean).
+    return SumReduce::reduce(p1, n1, p2, n2) /
+           static_cast<double>(n1 + n2);
+  }
+};
+
+struct MinReduce {
+  static double reduce(const Sample* ODA_RESTRICT p1, std::size_t n1,
+                       const Sample* ODA_RESTRICT p2, std::size_t n2) {
+    // Seed with the first sample, then apply the exact `if (v < min)` fold:
+    // a NaN first sample is sticky (every later compare is false) and later
+    // NaNs are skipped — std::min_element semantics, matching the
+    // accumulator bit-for-bit including the -0.0/+0.0 first-seen order.
+    double m = n1 != 0 ? p1[0].value : p2[0].value;
+    for (std::size_t i = 1; i < n1; ++i) {
+      if (p1[i].value < m) m = p1[i].value;
+    }
+    for (std::size_t i = n1 != 0 ? 0 : 1; i < n2; ++i) {
+      if (p2[i].value < m) m = p2[i].value;
+    }
+    return m;
+  }
+};
+
+struct MaxReduce {
+  static double reduce(const Sample* ODA_RESTRICT p1, std::size_t n1,
+                       const Sample* ODA_RESTRICT p2, std::size_t n2) {
+    double m = n1 != 0 ? p1[0].value : p2[0].value;
+    for (std::size_t i = 1; i < n1; ++i) {
+      if (m < p1[i].value) m = p1[i].value;
+    }
+    for (std::size_t i = n1 != 0 ? 0 : 1; i < n2; ++i) {
+      if (m < p2[i].value) m = p2[i].value;
+    }
+    return m;
+  }
+};
+
+struct LastReduce {
+  static double reduce(const Sample* ODA_RESTRICT p1, std::size_t n1,
+                       const Sample* ODA_RESTRICT p2, std::size_t n2) {
+    // O(1): the run is time-ordered, so "last" is the final sample.
+    return n2 != 0 ? p2[n2 - 1].value : p1[n1 - 1].value;
+  }
+};
+
+struct CountReduce {
+  static double reduce(const Sample* ODA_RESTRICT, std::size_t n1,
+                       const Sample* ODA_RESTRICT, std::size_t n2) {
+    // Pure index arithmetic — the run length is the count; no value reads.
+    return static_cast<double>(n1 + n2);
+  }
+};
+
+struct StdDevReduce {
+  static double reduce(const Sample* ODA_RESTRICT p1, std::size_t n1,
+                       const Sample* ODA_RESTRICT p2, std::size_t n2) {
+    // Welford's update, replicated verbatim from AggAccumulator::add so the
+    // division/multiplication order (and therefore every rounding step)
+    // matches bit-for-bit. Inherently sequential; not vectorizable.
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    const auto feed = [&](const Sample* ODA_RESTRICT p, std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v = p[i].value;
+        ++count;
+        const double delta = v - mean;
+        mean += delta / static_cast<double>(count);
+        m2 += delta * (v - mean);
+      }
+    };
+    feed(p1, n1);
+    feed(p2, n2);
+    // Sample stddev (n-1), 0 for a single sample — AggAccumulator::result.
+    return count < 2 ? 0.0 : std::sqrt(m2 / static_cast<double>(count - 1));
+  }
+};
+
+/// Walks the logical sample sequence (span `a` then span `b`, ascending
+/// time, every sample >= from) bucket by bucket. For each non-empty bucket
+/// it finds the contiguous run [i, j) with one time compare per sample —
+/// empty buckets between runs are skipped by the direct (t - from) / bucket
+/// index computation, not a per-sample `while` ladder — and emits the run
+/// as up to two pieces (the bucket can straddle the ring's wrap point).
+template <typename Emit>
+void walk_buckets(std::span<const Sample> a, std::span<const Sample> b,
+                  TimePoint from, Duration bucket, Emit&& emit) {
+  const Sample* ODA_RESTRICT pa = a.data();
+  const Sample* ODA_RESTRICT pb = b.data();
+  const std::size_t na = a.size();
+  const std::size_t n = na + b.size();
+  const auto time_at = [&](std::size_t idx) {
+    return idx < na ? pa[idx].time : pb[idx - na].time;
+  };
+  std::size_t i = 0;
+  while (i < n) {
+    const auto k =
+        static_cast<std::size_t>((time_at(i) - from) / bucket);
+    const TimePoint bucket_end =
+        from + (static_cast<TimePoint>(k) + 1) * static_cast<TimePoint>(bucket);
+    std::size_t j = i + 1;
+    while (j < n && time_at(j) < bucket_end) ++j;
+    if (i < na) {
+      const std::size_t mid = std::min(j, na);
+      emit(k, pa + i, mid - i, pb, j > na ? j - na : 0);
+    } else {
+      emit(k, pb + (i - na), j - i, pb, std::size_t{0});
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+void bucket_aggregate_dense(std::span<const Sample> a, std::span<const Sample> b,
+                            TimePoint from, Duration bucket, Aggregation agg,
+                            std::size_t n_buckets, double* out) {
+  // Dispatch once per call, not per sample: each instantiation inlines its
+  // reduce policy into the bucket walk.
+  const auto run = [&](auto reduce_tag) {
+    using Reduce = decltype(reduce_tag);
+    walk_buckets(a, b, from, bucket,
+                 [&](std::size_t k, const Sample* p1, std::size_t n1,
+                     const Sample* p2, std::size_t n2) {
+                   if (k < n_buckets) out[k] = Reduce::reduce(p1, n1, p2, n2);
+                 });
+  };
+  switch (agg) {
+    case Aggregation::kMean:
+      return run(MeanReduce{});
+    case Aggregation::kMin:
+      return run(MinReduce{});
+    case Aggregation::kMax:
+      return run(MaxReduce{});
+    case Aggregation::kSum:
+      return run(SumReduce{});
+    case Aggregation::kLast:
+      return run(LastReduce{});
+    case Aggregation::kCount:
+      return run(CountReduce{});
+    case Aggregation::kStdDev:
+      return run(StdDevReduce{});
+  }
+}
+
+void bucket_aggregate_sparse(std::span<const Sample> a,
+                             std::span<const Sample> b, TimePoint from,
+                             Duration bucket, Aggregation agg,
+                             std::vector<TimePoint>& out_times,
+                             std::vector<double>& out_values) {
+  const auto run = [&](auto reduce_tag) {
+    using Reduce = decltype(reduce_tag);
+    walk_buckets(a, b, from, bucket,
+                 [&](std::size_t k, const Sample* p1, std::size_t n1,
+                     const Sample* p2, std::size_t n2) {
+                   out_times.push_back(from + static_cast<TimePoint>(k) *
+                                                  static_cast<TimePoint>(bucket));
+                   out_values.push_back(Reduce::reduce(p1, n1, p2, n2));
+                 });
+  };
+  switch (agg) {
+    case Aggregation::kMean:
+      return run(MeanReduce{});
+    case Aggregation::kMin:
+      return run(MinReduce{});
+    case Aggregation::kMax:
+      return run(MaxReduce{});
+    case Aggregation::kSum:
+      return run(SumReduce{});
+    case Aggregation::kLast:
+      return run(LastReduce{});
+    case Aggregation::kCount:
+      return run(CountReduce{});
+    case Aggregation::kStdDev:
+      return run(StdDevReduce{});
+  }
+}
+
+}  // namespace oda::telemetry

@@ -1,0 +1,49 @@
+// Single-pass bucket aggregation kernels over a ring buffer's two contiguous
+// spans. These are the read hot path behind query_aggregated() and frame():
+// instead of folding every sample through the full AggAccumulator state
+// machine (min+max+sum+last+Welford, ~10 ops/sample) and flushing through a
+// per-sample `while` bucket ladder, the walk first finds each bucket's
+// contiguous sample run (one time compare per sample, a direct index jump
+// over empty-bucket gaps) and then reduces the run with a tight
+// per-Aggregation loop that touches only the state that aggregation needs —
+// 0 value reads for kCount, 1 for kLast, a vectorizable add/compare stream
+// for kSum/kMean/kMin/kMax.
+//
+// Contract: results are bit-identical to folding the same samples through
+// AggAccumulator (enforced by tests/test_agg_kernels.cpp and the
+// test_store_equiv randomized model). That pins down the floating-point
+// details: sums and Welford stddev are strict left-folds in sample order
+// (no reassociation), and min/max replicate the exact `if (v < min)`
+// comparison order, so a leading NaN is sticky and later NaNs are skipped,
+// matching std::min_element semantics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "telemetry/sample.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::telemetry {
+
+/// Dense driver (frame fill): aggregates `a` then `b` (ascending time, all
+/// samples in [from, from + n_buckets * bucket)) into fixed buckets of
+/// `bucket` seconds starting at `from`, writing out[(t - from) / bucket] for
+/// every non-empty bucket. Empty buckets are left untouched, so callers
+/// pre-fill `out` with NaN. `out` must hold n_buckets doubles.
+void bucket_aggregate_dense(std::span<const Sample> a, std::span<const Sample> b,
+                            TimePoint from, Duration bucket, Aggregation agg,
+                            std::size_t n_buckets, double* out);
+
+/// Sparse driver (query_aggregated): same walk, but appends one
+/// (bucket_start, aggregate) pair per non-empty bucket — bucket indices are
+/// unbounded here (the caller's [from, to) range can be astronomically wide),
+/// so no dense output array is materialized.
+void bucket_aggregate_sparse(std::span<const Sample> a,
+                             std::span<const Sample> b, TimePoint from,
+                             Duration bucket, Aggregation agg,
+                             std::vector<TimePoint>& out_times,
+                             std::vector<double>& out_values);
+
+}  // namespace oda::telemetry

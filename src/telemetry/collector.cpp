@@ -229,29 +229,28 @@ void Collector::read_group(const Group& group, TimePoint now,
   ODA_TRACE_SPAN_CAT("collector.read_group", "collector");
   const std::size_t n = group.sensor_paths.size();
   if (pool_ != nullptr && n >= 64) {
-    // Genuinely parallel reads: each chunk owns a split of overlay_rng_, so
-    // no lock serializes the fault overlay. Reads are const over a quiescent
-    // simulator (collect() runs between step()s); the lazily captured
-    // stuck-fault state is locked inside FaultInjector, and each sensor's
-    // breaker entry belongs to exactly one chunk. Per-read overlay ordering
-    // is not promised, so the stream reshuffle is fine.
-    const std::size_t chunks = std::min(n, pool_->thread_count() * 4);
-    const std::size_t chunk = (n + chunks - 1) / chunks;
-    std::vector<std::future<void>> futures;
-    futures.reserve(chunks);
-    for (std::size_t lo = 0; lo < n; lo += chunk) {
-      const std::size_t hi = std::min(lo + chunk, n);
-      futures.push_back(pool_->submit(
-          [this, &group, &slots, lo, hi, now,
-           rng = overlay_rng_.split(lo)]() mutable {
-            ODA_TRACE_SPAN_CAT("collector.read_chunk", "collector");
-            for (std::size_t i = lo; i < hi; ++i) {
-              slots[i] = attempt_read(group.sensor_paths[i],
-                                      group.sensor_ids[i], now, &rng, rng);
-            }
-          }));
-    }
-    for (auto& f : futures) f.get();
+    // Genuinely parallel reads: overlay_rng_ advances exactly once per
+    // group (serially, here), and each chunk derives its own stream from
+    // that draw keyed by its first index — deterministic no matter which
+    // thread claims the chunk, and no shared generator state is touched
+    // inside the fan-out. No lock serializes the fault overlay. Reads are
+    // const over a quiescent simulator (collect() runs between step()s);
+    // the lazily captured stuck-fault state is locked inside
+    // FaultInjector, and each sensor's breaker entry belongs to exactly
+    // one chunk. Per-read overlay ordering is not promised, so the stream
+    // reshuffle is fine. parallel_for_chunks claims chunks from a shared
+    // cursor — helpers plus this thread — so a slow sensor (retry backoff
+    // ladder) no longer holds the whole statically-assigned chunk
+    // schedule hostage.
+    const std::uint64_t overlay_draw = overlay_rng_.next();
+    pool_->parallel_for_chunks(0, n, [&](std::size_t lo, std::size_t hi) {
+      ODA_TRACE_SPAN_CAT("collector.read_chunk", "collector");
+      auto rng = Rng::from_draw(overlay_draw, lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        slots[i] = attempt_read(group.sensor_paths[i], group.sensor_ids[i],
+                                now, &rng, rng);
+      }
+    });
   } else {
     for (std::size_t i = 0; i < n; ++i) {
       slots[i] = attempt_read(group.sensor_paths[i], group.sensor_ids[i], now,

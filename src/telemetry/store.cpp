@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <limits>
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "telemetry/agg_kernels.hpp"
 
 namespace oda::telemetry {
 
@@ -109,12 +111,25 @@ double aggregate(const std::vector<double>& values, Aggregation agg) {
   return acc.result(agg);
 }
 
+void Frame::allocate(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  // Round the stride up to a whole cache line of doubles so adjacent
+  // columns never share a line, then over-allocate one line of slack and
+  // pick the base offset that lands column 0 on a 64-byte boundary
+  // (vector<double> only guarantees 8-byte alignment).
+  constexpr std::size_t kLine = 64 / sizeof(double);
+  stride_ = (rows + kLine - 1) & ~(kLine - 1);
+  values_.assign(stride_ * cols + kLine - 1, std::nan(""));
+  const auto addr = reinterpret_cast<std::uintptr_t>(values_.data());
+  const std::size_t misalign = (addr % 64) / sizeof(double);
+  base_ = misalign == 0 ? 0 : kLine - misalign;
+}
+
 std::vector<double> Frame::column(const std::string& name) const {
   for (std::size_t c = 0; c < columns.size(); ++c) {
     if (columns[c] == name) {
-      std::vector<double> out(rows());
-      for (std::size_t r = 0; r < rows(); ++r) out[r] = values[r][c];
-      return out;
+      const auto stripe = column_values(c);
+      return std::vector<double>(stripe.begin(), stripe.end());
     }
   }
   throw ContractError("frame column not found: " + name);
@@ -129,16 +144,10 @@ TimeSeriesStore::TimeSeriesStore(std::size_t capacity_per_sensor,
   std::size_t n = 1;
   while (n < want) n <<= 1;
   shards_.reserve(n);
-  shard_lock_wait_.reserve(n);
   shard_series_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>());
     const obs::LabelSet labels = {{"shard", std::to_string(i)}};
-    shard_lock_wait_.push_back(&obs::MetricsRegistry::global().gauge(
-        "oda_store_shard_lock_wait_seconds",
-        "DEPRECATED alias of oda_lock_wait_seconds{rank=\"store_shard\"}: "
-        "cumulative time insert paths spent acquiring this shard's lock",
-        labels));
     shard_series_.push_back(&obs::MetricsRegistry::global().gauge(
         "oda_store_shard_series", "Series stored in this shard (occupancy)",
         labels));
@@ -165,13 +174,9 @@ void TimeSeriesStore::insert(SeriesId id, Sample sample) {
   ODA_REQUIRE(id.valid(), "store insert with invalid series id");
   {
     Shard& shard = shard_of(id);
+    // Wait accounting rides the uniform contention machinery in sync.hpp
+    // (oda_lock_wait_seconds{rank="store_shard"}).
     WriterLock lock(shard.mu);
-    // Single-sample inserts now feed the legacy wait gauge too — before the
-    // uniform accounting they were invisible to it (the under-count fixed
-    // by the contention table migration).
-    if (lock.waited_s() > 0.0) {
-      shard_lock_wait_[id.value & shard_mask_]->add(lock.waited_s());
-    }
     series_locked(shard, id).samples.push(sample);
   }
   // relaxed: monotonic statistics counter (see total_inserted()).
@@ -219,12 +224,9 @@ void TimeSeriesStore::insert_batch(std::span<const IdReading> readings) {
     if (lo == hi) continue;
     Shard& shard = *shards_[s];
     // Wait accounting rides the uniform contention machinery in sync.hpp
-    // (try_lock fast path, timed slow path feeding the kStoreShard rank);
-    // waited_s() re-exports the same measurement into the legacy per-shard
-    // gauge, kept one release as a deprecated alias of
-    // oda_lock_wait_seconds{rank="store_shard"}.
+    // (try_lock fast path, timed slow path feeding the kStoreShard rank of
+    // oda_lock_wait_seconds).
     WriterLock lock(shard.mu);
-    if (lock.waited_s() > 0.0) shard_lock_wait_[s]->add(lock.waited_s());
     for (std::uint32_t k = lo; k < hi; ++k) {
       const IdReading& r = readings[order[k]];
       series_locked(shard, r.id).samples.push(r.sample);
@@ -366,31 +368,10 @@ SeriesSlice TimeSeriesStore::query_aggregated(SeriesId id, TimePoint from,
   const std::size_t hi = lower_index(a, b, to);
   if (lo >= hi) return out;
   const auto [ra, rb] = cut_range(a, b, lo, hi);
-
-  // Single streaming pass: bucket boundaries advance with the walk and each
-  // bucket folds into an AggAccumulator — no per-bucket value vector.
-  const TimePoint first = ra.empty() ? rb.front().time : ra.front().time;
-  TimePoint bucket_start = from + ((first - from) / bucket) * bucket;
-  AggAccumulator acc;
-  const auto flush = [&] {
-    if (acc.count != 0) {
-      out.times.push_back(bucket_start);
-      out.values.push_back(acc.result(agg));
-      acc.reset();
-    }
-  };
-  const auto feed = [&](std::span<const Sample> seg) {
-    for (const Sample& s : seg) {
-      while (s.time >= bucket_start + bucket) {
-        flush();
-        bucket_start += bucket;
-      }
-      acc.add(s.value);
-    }
-  };
-  feed(ra);
-  feed(rb);
-  flush();
+  // Single streaming pass through the per-Aggregation bucket kernels
+  // (agg_kernels.hpp): one boundary compare per sample, a tight reduce loop
+  // per bucket, bit-identical to folding through AggAccumulator.
+  bucket_aggregate_sparse(ra, rb, from, bucket, agg, out.times, out.values);
   return out;
 }
 
@@ -409,12 +390,23 @@ void TimeSeriesStore::fill_column(Frame& f, std::size_t col, SeriesId id,
   // carry the submitter's trace context, so the critical-path analyzer sees
   // the fan-out width (frame_parallelism) directly from the trace.
   ODA_TRACE_SPAN_CAT("store.fill_column", "store");
-  const SeriesSlice slice = query_aggregated(id, from, to, bucket, agg);
-  const std::size_t n_buckets = f.times.size();
-  for (std::size_t i = 0; i < slice.size(); ++i) {
-    const auto b = static_cast<std::size_t>((slice.times[i] - from) / bucket);
-    if (b < n_buckets) f.values[b][col] = slice.values[i];
-  }
+  StoreMetrics::get().queries.inc();
+  // Unknown sensors (no interner entry, or interned but never inserted
+  // here) leave the column all-NaN — never an aliased series' data.
+  if (!id.valid()) return;
+  Shard& shard = shard_of(id);
+  ReaderLock lock(shard.mu);
+  const auto it = shard.series.find(id.value);
+  if (it == shard.series.end()) return;
+  const auto [a, b] = it->second->samples.spans();
+  const std::size_t lo = lower_index(a, b, from);
+  const std::size_t hi = lower_index(a, b, to);
+  if (lo >= hi) return;
+  const auto [ra, rb] = cut_range(a, b, lo, hi);
+  // The dense kernel writes aggregates straight into this column's
+  // contiguous stripe — no intermediate SeriesSlice, no scatter pass.
+  bucket_aggregate_dense(ra, rb, from, bucket, agg, f.rows(),
+                         f.column_values(col).data());
 }
 
 Frame TimeSeriesStore::frame(const std::vector<std::string>& sensor_paths,
@@ -430,16 +422,19 @@ Frame TimeSeriesStore::frame(const std::vector<std::string>& sensor_paths,
   for (std::size_t bkt = 0; bkt < n_buckets; ++bkt) {
     f.times[bkt] = from + static_cast<Duration>(bkt) * bucket;
   }
-  f.values.assign(n_buckets,
-                  std::vector<double>(sensor_paths.size(), std::nan("")));
+  f.allocate(n_buckets, sensor_paths.size());
 
   SeriesInterner& interner = SeriesInterner::global();
   std::vector<SeriesId> ids(sensor_paths.size());
   for (std::size_t c = 0; c < sensor_paths.size(); ++c) {
+    // Unknown paths map to the (explicitly invalid) default SeriesId;
+    // fill_column leaves those columns all-NaN.
     ids[c] = interner.lookup(sensor_paths[c]).value_or(SeriesId{});
   }
-  // Columns are independent (each touches only its own f.values[..][c]
-  // cells), so fan them out when a pool is wired in.
+  // Columns are independent and each writes only its own cache-line-aligned
+  // stripe, so fan them out when a pool is wired in. parallel_for claims
+  // chunks of columns via a shared atomic cursor (grain auto-tuned), so a
+  // wide frame costs thread_count task submissions, not one per column.
   if (pool_ != nullptr && sensor_paths.size() >= kParallelFrameColumns) {
     pool_->parallel_for(0, sensor_paths.size(), [&](std::size_t c) {
       fill_column(f, c, ids[c], from, to, bucket, agg);

@@ -51,15 +51,51 @@ struct SeriesSlice {
 };
 
 /// An aligned multi-sensor table: rows are time buckets, columns sensors.
+/// Storage is one flat column-major buffer: column c occupies the contiguous
+/// stripe values_[base_ + c * stride_ .. + rows()), with the stride rounded
+/// up to a whole cache line (8 doubles) and column 0 aligned to a 64-byte
+/// boundary, so parallel per-column writers never share a cache line.
+/// Missing data is NaN.
 struct Frame {
   std::vector<std::string> columns;
   std::vector<TimePoint> times;
-  /// values[row][col]; missing data is NaN.
-  std::vector<std::vector<double>> values;
 
   std::size_t rows() const { return times.size(); }
   std::size_t cols() const { return columns.size(); }
+
+  /// Sizes the buffer for rows x cols and fills every cell with NaN.
+  /// `times`/`columns` stay the caller's to populate (frame() sets them so
+  /// rows() == rows and cols() == cols afterwards).
+  void allocate(std::size_t rows, std::size_t cols);
+
+  /// Cell accessors (unchecked: the row/col must be in range).
+  double at(std::size_t row, std::size_t col) const {
+    return values_[base_ + col * stride_ + row];
+  }
+  double& at(std::size_t row, std::size_t col) {
+    return values_[base_ + col * stride_ + row];
+  }
+
+  /// Column c's cells as one contiguous stripe of rows() doubles — the
+  /// fast path for per-sensor scans (no per-row indirection).
+  std::span<const double> column_values(std::size_t col) const {
+    return {values_.data() + base_ + col * stride_, rows_};
+  }
+  std::span<double> column_values(std::size_t col) {
+    return {values_.data() + base_ + col * stride_, rows_};
+  }
+
+  /// Copy of the named column; throws ContractError when absent.
   std::vector<double> column(const std::string& name) const;
+
+ private:
+  // Copies keep base_ as-is: the slack allocated for alignment travels with
+  // the buffer, so stale offsets stay in range — a copy merely loses the
+  // 64-byte guarantee (a perf nicety, never a correctness requirement).
+  std::vector<double> values_;
+  std::size_t rows_ = 0;    // row count fixed at allocate() time
+  std::size_t stride_ = 0;  // doubles between column starts (>= rows_)
+  std::size_t base_ = 0;    // leading pad aligning column 0 to 64 bytes
 };
 
 /// Streaming aggregation state: one pass over the values yields every
@@ -189,8 +225,8 @@ class TimeSeriesStore {
   ThreadPool* pool_ = nullptr;
   // Per-shard instruments, owned by the global registry and shared across
   // stores with the same shard index (aggregate semantics, like the
-  // process-wide insert/query counters).
-  std::vector<obs::Gauge*> shard_lock_wait_;
+  // process-wide insert/query counters). Lock-wait attribution lives in the
+  // uniform oda_lock_wait_seconds{rank="store_shard"} contention table.
   std::vector<obs::Gauge*> shard_series_;
 };
 

@@ -1,0 +1,169 @@
+// Property tests for the bucket aggregation kernels (agg_kernels.hpp): the
+// dense and sparse drivers must be bit-identical to folding the same
+// samples through AggAccumulator, across every Aggregation mode, ring
+// wraparound span splits, NaN runs, duplicate timestamps, and empty-bucket
+// gaps. NaN equality here means "both NaN" (the accumulator's sticky
+// first-NaN min/max semantics are part of the contract).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "telemetry/agg_kernels.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::telemetry {
+namespace {
+
+bool same(double a, double b) {
+  return (std::isnan(a) && std::isnan(b)) || a == b;
+}
+
+constexpr Aggregation kAllAggs[] = {
+    Aggregation::kMean, Aggregation::kMin,  Aggregation::kMax,
+    Aggregation::kSum,  Aggregation::kLast, Aggregation::kCount,
+    Aggregation::kStdDev};
+
+/// Reference: the original per-sample AggAccumulator bucket ladder, on a
+/// plain sorted vector (what query_aggregated did before the kernels).
+void reference_buckets(const std::vector<Sample>& samples, TimePoint from,
+                       Duration bucket, Aggregation agg,
+                       std::vector<TimePoint>& out_times,
+                       std::vector<double>& out_values) {
+  if (samples.empty()) return;
+  TimePoint bucket_start =
+      from + ((samples.front().time - from) / bucket) * bucket;
+  AggAccumulator acc;
+  const auto flush = [&] {
+    if (acc.count != 0) {
+      out_times.push_back(bucket_start);
+      out_values.push_back(acc.result(agg));
+      acc.reset();
+    }
+  };
+  for (const Sample& s : samples) {
+    while (s.time >= bucket_start + bucket) {
+      flush();
+      bucket_start += bucket;
+    }
+    acc.add(s.value);
+  }
+  flush();
+}
+
+/// Runs both kernel drivers against the reference over one sample sequence,
+/// at every possible ring-wrap split point of the two spans.
+void check_all_splits(const std::vector<Sample>& samples, TimePoint from,
+                      Duration bucket, const std::string& context) {
+  TimePoint max_time = from;
+  for (const Sample& s : samples) max_time = std::max(max_time, s.time);
+  const std::size_t n_buckets =
+      static_cast<std::size_t>((max_time - from) / bucket) + 1;
+
+  for (const Aggregation agg : kAllAggs) {
+    std::vector<TimePoint> want_times;
+    std::vector<double> want_values;
+    reference_buckets(samples, from, bucket, agg, want_times, want_values);
+
+    // Dense reference: scatter the sparse reference onto the bucket grid.
+    std::vector<double> want_dense(n_buckets, std::nan(""));
+    for (std::size_t i = 0; i < want_times.size(); ++i) {
+      want_dense[static_cast<std::size_t>((want_times[i] - from) / bucket)] =
+          want_values[i];
+    }
+
+    for (std::size_t split = 0; split <= samples.size(); ++split) {
+      const std::span<const Sample> a(samples.data(), split);
+      const std::span<const Sample> b(samples.data() + split,
+                                      samples.size() - split);
+      const std::string ctx = context + " agg " +
+                              std::to_string(static_cast<int>(agg)) +
+                              " split " + std::to_string(split);
+
+      std::vector<TimePoint> got_times;
+      std::vector<double> got_values;
+      bucket_aggregate_sparse(a, b, from, bucket, agg, got_times, got_values);
+      ASSERT_EQ(got_times.size(), want_times.size()) << ctx;
+      for (std::size_t i = 0; i < got_times.size(); ++i) {
+        EXPECT_EQ(got_times[i], want_times[i]) << ctx << " @" << i;
+        EXPECT_TRUE(same(got_values[i], want_values[i]))
+            << ctx << " @" << i << ": " << got_values[i]
+            << " != " << want_values[i];
+      }
+
+      std::vector<double> got_dense(n_buckets, std::nan(""));
+      bucket_aggregate_dense(a, b, from, bucket, agg, n_buckets,
+                             got_dense.data());
+      for (std::size_t k = 0; k < n_buckets; ++k) {
+        EXPECT_TRUE(same(got_dense[k], want_dense[k]))
+            << ctx << " bucket " << k << ": " << got_dense[k]
+            << " != " << want_dense[k];
+      }
+    }
+  }
+}
+
+TEST(AggKernels, RandomizedMatchesAccumulatorAtEverySplit) {
+  Rng rng(7);
+  for (int round = 0; round < 25; ++round) {
+    const TimePoint from = rng.uniform_int(-100, 100);
+    const Duration bucket = rng.uniform_int(1, 60);
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    std::vector<Sample> samples;
+    TimePoint t = from;
+    for (std::size_t i = 0; i < n; ++i) {
+      t += rng.uniform_int(0, 25);  // duplicates (0) through multi-bucket gaps
+      double v = rng.normal(0.0, 100.0);
+      const double u = rng.uniform();
+      if (u < 0.15) v = std::nan("");
+      else if (u < 0.25) v = v * 1e12;
+      else if (u < 0.30) v = (u < 0.275) ? 0.0 : -0.0;  // signed-zero order
+      samples.push_back({t, v});
+    }
+    check_all_splits(samples, from, bucket,
+                     "round " + std::to_string(round));
+  }
+}
+
+TEST(AggKernels, AllNaNRunsAreSticky) {
+  // A bucket whose first value is NaN reports NaN for min/max (sticky);
+  // later NaNs are skipped, matching std::min_element comparison order.
+  const std::vector<Sample> samples{{0, std::nan("")}, {1, 5.0},
+                                    {2, std::nan("")}, {10, 3.0},
+                                    {11, std::nan("")}, {12, 1.0}};
+  check_all_splits(samples, 0, 10, "nan-runs");
+}
+
+TEST(AggKernels, EmptyBucketGapsAndEmptyInput) {
+  // Huge gaps: the walk must jump empty buckets by index, not iterate them.
+  const std::vector<Sample> samples{{0, 1.0}, {1'000'000, 2.0},
+                                    {9'000'000, 3.0}};
+  check_all_splits(samples, 0, 7, "gap");
+
+  std::vector<TimePoint> times;
+  std::vector<double> values;
+  bucket_aggregate_sparse({}, {}, 0, 10, Aggregation::kMean, times, values);
+  EXPECT_TRUE(times.empty());
+  EXPECT_TRUE(values.empty());
+  double dense[4] = {1.0, 2.0, 3.0, 4.0};
+  bucket_aggregate_dense({}, {}, 0, 10, Aggregation::kSum, 4, dense);
+  EXPECT_DOUBLE_EQ(dense[2], 3.0);  // untouched
+}
+
+TEST(AggKernels, SingleSampleEveryMode) {
+  const std::vector<Sample> samples{{5, 42.5}};
+  check_all_splits(samples, 0, 10, "single");
+  // StdDev of a single sample is 0, not NaN (AggAccumulator contract).
+  std::vector<TimePoint> times;
+  std::vector<double> values;
+  bucket_aggregate_sparse(std::span<const Sample>(samples), {}, 0, 10,
+                          Aggregation::kStdDev, times, values);
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_DOUBLE_EQ(values[0], 0.0);
+}
+
+}  // namespace
+}  // namespace oda::telemetry

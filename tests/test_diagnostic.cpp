@@ -182,7 +182,11 @@ TEST(WindowFeatures, ShapeAndSlope) {
   telemetry::Frame frame;
   frame.columns = {"a", "b"};
   frame.times = {0, 1, 2, 3};
-  frame.values = {{0.0, 5.0}, {1.0, 5.0}, {2.0, 5.0}, {3.0, 5.0}};
+  frame.allocate(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    frame.at(r, 0) = static_cast<double>(r);
+    frame.at(r, 1) = 5.0;
+  }
   const auto f = window_features(frame);
   ASSERT_EQ(f.size(), 6u);
   EXPECT_NEAR(f[0], 1.5, 1e-12);  // mean(a)

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -305,6 +306,77 @@ TEST(RaceThreadPool, ParallelForRacingWithSubmits) {
   // are safe — TSan verifies that claim — and every index is covered.
   EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), static_cast<int>(kN));
   EXPECT_EQ(side_tasks.load(), 500);
+}
+
+TEST(RaceThreadPool, ParallelForUnevenChunkCostsBalance) {
+  // Work-stealing claim loop under pathologically uneven costs: a handful
+  // of indices are ~1000x more expensive than the rest. Disjoint coverage
+  // (plain writes, TSan-checked) must hold regardless of which participant
+  // — helper or caller — claims the slow chunks, and a fine grain lets
+  // fast threads drain the cheap tail while slow chunks are in flight.
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 4096;
+  std::vector<std::uint32_t> result(kN, 0);
+  pool.parallel_for(
+      0, kN,
+      [&](std::size_t i) {
+        if (i % 512 == 0) {
+          // Expensive outlier: real work, not sleep, so TSan interleaves.
+          volatile double sink = 0.0;
+          for (int k = 0; k < 200000; ++k) sink = sink + static_cast<double>(k);
+        }
+        result[i] = static_cast<std::uint32_t>(i) + 1;
+      },
+      /*grain=*/8);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(result[i], i + 1) << "index " << i;
+  }
+  EXPECT_GE(pool.parallel_for_calls(), 1u);
+  EXPECT_GE(pool.parallel_for_chunks_claimed(), kN / 8);
+}
+
+TEST(RaceThreadPool, ParallelForChunksCoversRangeDisjointly) {
+  // The chunk-granular variant: per-chunk bodies see half-open [lo, hi)
+  // ranges that tile [begin, end) exactly once. Concurrent submits add
+  // queue noise so helpers start at staggered times.
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::uint8_t> touched(kN, 0);
+  std::atomic<int> side_tasks{0};
+  std::thread noise([&] {
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&] { side_tasks.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for_chunks(100, kN, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) touched[i] = 1;
+    total.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  noise.join();
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), kN - 100);
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), std::size_t{0}),
+            kN - 100);
+}
+
+TEST(RaceThreadPool, ParallelForPropagatesBodyException) {
+  // An exception from any participant (helper or caller) surfaces to the
+  // parallel_for caller after every helper has been joined — no helper may
+  // outlive the call frame it borrows.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(
+          0, 64,
+          [&](std::size_t i) {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            if (i == 13) throw std::runtime_error("boom");
+          },
+          /*grain=*/1),
+      std::runtime_error);
+  pool.wait_idle();
+  EXPECT_GE(ran.load(), 1);
 }
 
 TEST(RaceThreadPool, WaitIdleFromManyThreads) {

@@ -90,14 +90,13 @@ class ReferenceStore {
     for (std::size_t b = 0; b < n_buckets; ++b) {
       f.times[b] = from + static_cast<Duration>(b) * bucket;
     }
-    f.values.assign(n_buckets,
-                    std::vector<double>(sensor_paths.size(), std::nan("")));
+    f.allocate(n_buckets, sensor_paths.size());
     for (std::size_t c = 0; c < sensor_paths.size(); ++c) {
       const SeriesSlice slice =
           query_aggregated(sensor_paths[c], from, to, bucket, agg);
       for (std::size_t i = 0; i < slice.size(); ++i) {
         const auto b = static_cast<std::size_t>((slice.times[i] - from) / bucket);
-        if (b < n_buckets) f.values[b][c] = slice.values[i];
+        if (b < n_buckets) f.at(b, c) = slice.values[i];
       }
     }
     return f;
@@ -151,7 +150,7 @@ void expect_frames_equal(const Frame& got, const Frame& want) {
   EXPECT_EQ(got.times, want.times);
   for (std::size_t r = 0; r < got.rows(); ++r) {
     for (std::size_t c = 0; c < got.cols(); ++c) {
-      EXPECT_TRUE(same(got.values[r][c], want.values[r][c]))
+      EXPECT_TRUE(same(got.at(r, c), want.at(r, c)))
           << "row " << r << " col " << c;
     }
   }
@@ -327,6 +326,40 @@ TEST(StoreEquivalence, ParallelFrameMatchesSerial) {
   const Frame parallel = store.frame(paths, 0, 500, 37, Aggregation::kStdDev);
   store.set_pool(nullptr);
   expect_frames_equal(parallel, serial);
+}
+
+TEST(StoreEquivalence, FrameUnknownColumnsStayAllNaN) {
+  // Regression: frame() maps unknown paths to the default (invalid)
+  // SeriesId; those columns must stay all-NaN rather than aliasing any
+  // stored series — serial and pooled paths alike.  Capacity must hold all
+  // 100 samples per series or early buckets evict to NaN.
+  TimeSeriesStore store(128, 4);
+  std::vector<std::string> paths;
+  for (int p = 0; p < 6; ++p) {
+    paths.push_back("equiv-unknown/s" + std::to_string(p));
+    for (TimePoint t = 0; t < 100; ++t) {
+      store.insert(paths.back(), {t, static_cast<double>(t + p)});
+    }
+  }
+  // One path never seen by the interner, one interned but never inserted
+  // into this store.
+  paths.insert(paths.begin() + 2, "equiv-unknown/never-interned");
+  SeriesInterner::global().intern("equiv-unknown/foreign");
+  paths.push_back("equiv-unknown/foreign");
+
+  const auto check = [&](const Frame& f) {
+    ASSERT_EQ(f.cols(), paths.size());
+    for (std::size_t r = 0; r < f.rows(); ++r) {
+      EXPECT_TRUE(std::isnan(f.at(r, 2))) << "never-interned row " << r;
+      EXPECT_TRUE(std::isnan(f.at(r, f.cols() - 1))) << "foreign row " << r;
+      EXPECT_FALSE(std::isnan(f.at(r, 0))) << "known column row " << r;
+    }
+  };
+  check(store.frame(paths, 0, 100, 10));
+  ThreadPool pool(4);
+  store.set_pool(&pool);
+  check(store.frame(paths, 0, 100, 10));
+  store.set_pool(nullptr);
 }
 
 TEST(StoreEquivalence, ContainsAndInvalidHandles) {

@@ -100,6 +100,64 @@ TEST(RaceStore, ConcurrentBatchInsertAndQueryAcrossShards) {
             static_cast<std::size_t>(kPathCount));
 }
 
+TEST(RaceStore, PooledFrameRacesConcurrentBatchInserts) {
+  // The chunked parallel frame path under write pressure: fill_column
+  // workers take shard reader locks and write disjoint cache-line-aligned
+  // column stripes while writer threads pump insert_batch into the same
+  // shards. Uneven column costs (one hot series with far more samples)
+  // force the chunk-claiming cursor to rebalance mid-frame. Ring capacity
+  // comfortably exceeds the 800 seed samples plus every concurrent write a
+  // series could absorb, so the seeded window is never evicted mid-test.
+  TimeSeriesStore store(1 << 11, 8);
+  ThreadPool pool(4);
+  store.set_pool(&pool);
+  constexpr int kCols = 48;
+  std::vector<std::string> paths;
+  std::vector<SeriesId> ids;
+  for (int p = 0; p < kCols; ++p) {
+    paths.push_back("race-pframe/s" + std::to_string(p));
+    ids.push_back(SeriesInterner::global().intern(paths.back()));
+    // Column 0 is ~10x denser than the rest: an expensive outlier chunk.
+    const TimePoint step = p == 0 ? 1 : 10;
+    for (TimePoint t = 0; t < 800; t += step) {
+      store.insert(ids.back(), {t, static_cast<double>(p) + 0.5});
+    }
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      Rng rng(3000 + static_cast<std::uint64_t>(w));
+      std::vector<IdReading> batch(128);
+      for (int b = 0; b < 60; ++b) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const auto p = static_cast<std::size_t>(
+              rng.uniform_int(0, kCols - 1));
+          batch[i] = IdReading{ids[p],
+                               {800 + static_cast<TimePoint>(b),
+                                rng.normal(0.0, 1.0)}};
+        }
+        store.insert_batch(std::span<const IdReading>(batch));
+      }
+    });
+  }
+
+  // Frames race the writers; only the pre-populated window [0, 800) has a
+  // stable answer, so assert on that region (bucket 80 -> 10 rows).
+  for (int round = 0; round < 30; ++round) {
+    const Frame f = store.frame(paths, 0, 800, 80, Aggregation::kMean);
+    ASSERT_EQ(f.rows(), 10u);
+    ASSERT_EQ(f.cols(), static_cast<std::size_t>(kCols));
+    for (std::size_t c = 1; c < f.cols(); ++c) {
+      for (double v : f.column_values(c)) {
+        ASSERT_EQ(v, static_cast<double>(c) + 0.5) << "col " << c;
+      }
+    }
+  }
+  for (auto& w : writers) w.join();
+  store.set_pool(nullptr);
+}
+
 TEST(RaceStore, ParallelCollectorReadsWithFaultOverlay) {
   // The collector's parallel path reads sensors concurrently with per-chunk
   // overlay Rngs; stuck/spike/noise faults exercise the shared stuck-state

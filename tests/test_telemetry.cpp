@@ -132,9 +132,11 @@ TEST(Store, FrameAlignsMultipleSensors) {
   const auto f = store.frame({"a", "b"}, 0, 40, 10);
   ASSERT_EQ(f.rows(), 4u);
   ASSERT_EQ(f.cols(), 2u);
-  EXPECT_DOUBLE_EQ(f.values[0][0], 1.0);
-  EXPECT_DOUBLE_EQ(f.values[0][1], 2.0);
-  EXPECT_TRUE(std::isnan(f.values[3][1]));  // missing data is NaN
+  EXPECT_DOUBLE_EQ(f.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(f.at(0, 1), 2.0);
+  EXPECT_TRUE(std::isnan(f.at(3, 1)));  // missing data is NaN
+  EXPECT_EQ(f.column_values(1).size(), 4u);
+  EXPECT_DOUBLE_EQ(f.column_values(1)[1], 2.0);
   const auto col = f.column("a");
   EXPECT_EQ(col.size(), 4u);
   EXPECT_THROW(f.column("zzz"), ContractError);
