@@ -7,7 +7,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <span>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -25,6 +27,7 @@
 #include "telemetry/collector.hpp"
 #include "telemetry/series_id.hpp"
 #include "telemetry/store.hpp"
+#include "telemetry/wal.hpp"
 
 namespace {
 
@@ -436,6 +439,80 @@ int main(int argc, char** argv) {
     }
   }
 #endif
+
+  // ------------------------------------------------------------------ WAL
+  // Durable-tier cost: batch ingest with the write-ahead log attached
+  // (group commit + fsync per flush) vs. the bare store, and how long
+  // recovery takes to replay the segments into a fresh store.
+  if (oda::telemetry::wal_enabled()) {
+    const std::string wal_dir = "/tmp/oda_bench_wal";
+    const std::string scrub = "rm -rf " + wal_dir;
+    (void)std::system(scrub.c_str());
+
+    const std::size_t wal_samples = quick ? 100'000 : 1'000'000;
+    const std::size_t wal_batch = 256;
+    std::vector<SeriesId> wal_ids;
+    for (std::size_t i = 0; i < n_paths; ++i) {
+      wal_ids.push_back(
+          SeriesInterner::global().intern("bwal/s" + std::to_string(i)));
+    }
+    std::vector<IdReading> wbatch(wal_batch);
+    const auto fill = [&](std::size_t base) {
+      for (std::size_t j = 0; j < wal_batch; ++j) {
+        const std::size_t g = base + j;
+        wbatch[j] = IdReading{wal_ids[g % n_paths],
+                              {static_cast<TimePoint>(g / n_paths),
+                               static_cast<double>(g % 997) * 0.25}};
+      }
+    };
+
+    const auto ingest_seconds = [&](oda::telemetry::Wal* wal) {
+      TimeSeriesStore wstore(1 << 12);
+      if (wal != nullptr) wstore.set_wal(wal);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t base = 0; base + wal_batch <= wal_samples;
+           base += wal_batch) {
+        fill(base);
+        wstore.insert_batch(std::span<const IdReading>(wbatch));
+      }
+      if (wal != nullptr) wal->flush();
+      return seconds_since(t0);
+    };
+
+    const double bare_s = ingest_seconds(nullptr);
+    double wal_s = 0;
+    {
+      oda::telemetry::Wal wal(oda::telemetry::WalOptions{.dir = wal_dir});
+      std::vector<IdReading> rec;
+      wal.recover(rec);
+      if (!wal.start()) {
+        std::printf("wal bench: start() failed, skipping\n");
+      } else {
+        wal_s = ingest_seconds(&wal);
+      }
+      wal.stop();
+    }
+    if (wal_s > 0) {
+      double replay_ms = 0;
+      {
+        TimeSeriesStore replayed(1 << 12);
+        oda::telemetry::Wal wal(oda::telemetry::WalOptions{.dir = wal_dir});
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto stats = wal.recover_into(replayed);
+        replay_ms = seconds_since(t0) * 1e3;
+        std::printf("wal: ingest %8.2f Msamples/s bare, %8.2f with WAL "
+                    "(overhead x%.2f)\n     replay %.2f ms for %llu samples\n",
+                    wal_samples / bare_s / 1e6, wal_samples / wal_s / 1e6,
+                    wal_s / bare_s,
+                    replay_ms,
+                    static_cast<unsigned long long>(stats.samples_replayed));
+      }
+      report.add("wal_append_msps", wal_samples / wal_s / 1e6, "Msamples/s");
+      report.add("wal_append_overhead", wal_s / bare_s, "x");
+      report.add("wal_replay_ms", replay_ms, "ms");
+    }
+    (void)std::system(scrub.c_str());
+  }
 
   if (sink == 0) std::printf("(empty results?)\n");
   return 0;

@@ -16,14 +16,24 @@
 //     fixture compares the two byte-for-byte).
 //
 //   ./self_monitor [hours=8] [prom_out] [trace_out] [metrics_json_out]
-//                  [flight_out] [profile_out] [cp_out]
+//                  [flight_out] [profile_out] [cp_out] [wal_dir]
+//
+// With a wal_dir ("-" or empty disables), ingest is write-ahead logged: a
+// prior run's segments are replayed into the store before collection starts
+// and every batch is group-committed to disk (telemetry/wal.hpp). SIGTERM
+// requests a graceful shutdown: the run loop exits, the WAL is flushed and
+// fsynced (an orderly stop leaves no tail for recovery to truncate), final
+// metrics are exported, and the process exits 0.
 //
 // The always-on flight recorder is exported too: its ring dump (last spans
 // on every thread, causal ids included) goes to flight_out, and the same
 // path is installed as the automatic postmortem destination used by
 // assess_pipeline_health on a healthy -> unhealthy edge.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,8 +60,19 @@
 #include "telemetry/bus.hpp"
 #include "telemetry/collector.hpp"
 #include "telemetry/store.hpp"
+#include "telemetry/wal.hpp"
 
 namespace {
+
+/// SIGTERM latch: the handler only stores a lock-free atomic flag (async-
+/// signal-safe); the run loop polls it once per simulated step.
+std::atomic<bool> g_sigterm{false};
+
+void handle_sigterm(int) {
+  // relaxed: the loop re-reads the flag every iteration; no other memory
+  // is published through it.
+  g_sigterm.store(true, std::memory_order_relaxed);
+}
 
 bool write_file(const char* path, const std::string& content) {
   std::FILE* f = std::fopen(path, "w");
@@ -75,6 +96,9 @@ int main(int argc, char** argv) {
   const char* flight_out = argc > 5 ? argv[5] : "self_monitor_flight.json";
   const char* profile_out = argc > 6 ? argv[6] : "self_monitor.folded";
   const char* cp_out = argc > 7 ? argv[7] : "self_monitor_critical_path.txt";
+  const std::string wal_dir = argc > 8 ? argv[8] : "";
+
+  std::signal(SIGTERM, handle_sigterm);
 
   // Spans from every layer (sim, collector, bus, analytics) are recorded —
   // but only over the final simulated hour, so the bounded trace buffer
@@ -100,6 +124,22 @@ int main(int argc, char** argv) {
   cluster.scheduler().set_placement(analytics::make_thermal_placement(cluster));
 
   telemetry::TimeSeriesStore store(1 << 15);
+
+  // Durable tier: replay any previous run's segments BEFORE attaching the
+  // WAL (an attached store would re-log its own replay), then log every
+  // batch from here on. Inert when no dir is given or ODA_WAL=OFF.
+  std::optional<telemetry::Wal> wal;
+  if (!wal_dir.empty() && wal_dir != "-" && telemetry::wal_enabled()) {
+    wal.emplace(telemetry::WalOptions{.dir = wal_dir});
+    const auto recovered = wal->recover_into(store);
+    store.set_wal(&*wal);
+    wal->start();
+    std::printf("wal: replayed %llu samples from %llu segment(s)%s\n",
+                static_cast<unsigned long long>(recovered.samples_replayed),
+                static_cast<unsigned long long>(recovered.segments_scanned),
+                recovered.tail_truncated ? " (tail truncated)" : "");
+  }
+
   telemetry::MessageBus bus;
   ThreadPool pool(2);
   telemetry::Collector collector(cluster, &store, &bus, &pool);
@@ -133,13 +173,35 @@ int main(int argc, char** argv) {
   // 3. Run the pipeline; arm the tracer for the final hour.
   const TimePoint end = hours * kHour;
   const TimePoint trace_from = end > kHour ? end - kHour : 0;
-  while (cluster.now() < end) {
+  while (cluster.now() < end &&
+         !g_sigterm.load(std::memory_order_relaxed)) {
     if (!tracer.enabled() && cluster.now() >= trace_from) {
       tracer.set_enabled(true);
     }
     cluster.step();
     collector.collect();
     control.tick();
+  }
+  const bool interrupted = g_sigterm.load(std::memory_order_relaxed);
+
+  // Graceful shutdown of the durable tier: detach from the store first so
+  // nothing logs after the flush, then flush+fsync and join the writer. An
+  // orderly stop leaves segments ending on a record boundary — the next
+  // recovery replays them with nothing to truncate.
+  if (wal.has_value()) {
+    store.set_wal(nullptr);
+    const bool flushed = wal->flush();
+    wal->stop();
+    std::printf("wal: %s, %llu samples committed, %llu lost%s\n",
+                flushed ? "flushed and fsynced" : "flush failed (degraded)",
+                static_cast<unsigned long long>(wal->committed_samples()),
+                static_cast<unsigned long long>(wal->lost_samples()),
+                wal->degraded() ? " [degraded]" : "");
+  }
+  if (interrupted) {
+    std::printf("SIGTERM received: graceful shutdown after %lld simulated "
+                "seconds\n",
+                static_cast<long long>(cluster.now()));
   }
   std::printf("ran %lld simulated hours: %llu samples, %llu bus deliveries, "
               "%llu facility readings consumed\n",
@@ -149,7 +211,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(facility_readings));
 
   // 4. Exercise one capability per framework grid cell so the cost view has
-  //    live numbers everywhere.
+  //    live numbers everywhere. Skipped on SIGTERM: a shutdown request
+  //    wants the final metrics out, not a fresh analytics pass over a
+  //    partially-collected window.
+  if (!interrupted) {
   const auto& records = cluster.scheduler().completed();
   std::vector<std::string> prefixes;
   for (std::size_t i = 0; i < cluster.node_count(); ++i) {
@@ -207,6 +272,7 @@ int main(int argc, char** argv) {
   if (!records.empty()) {
     analytics::recommend_for_job(store, records.back(), prefixes);
   }
+  }  // if (!interrupted)
 
   // 5. The stack's own operational picture. Stop sampling first so the
   //    profiler counters the snapshot exports are final.

@@ -8,6 +8,7 @@ const char* to_string(LockRankId rank) noexcept {
     case LockRankId::kBus: return "bus";
     case LockRankId::kHealth: return "health";
     case LockRankId::kStoreShard: return "store_shard";
+    case LockRankId::kWal: return "wal";
     case LockRankId::kInterner: return "interner";
     case LockRankId::kMetrics: return "metrics";
     case LockRankId::kTrace: return "trace";

@@ -27,6 +27,7 @@ enum class LockRankId : std::uint8_t {
   kBus,
   kHealth,
   kStoreShard,
+  kWal,
   kInterner,
   kMetrics,
   kTrace,

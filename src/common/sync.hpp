@@ -93,7 +93,7 @@ namespace oda {
 // hierarchy (outermost first) mirrors the actual call nesting of the data
 // plane — see docs/STATIC_ANALYSIS.md for the rationale per level:
 //
-//   bus -> health -> store shard -> interner -> metrics -> trace -> log
+//   bus -> health -> store shard -> wal -> interner -> metrics -> trace -> log
 //
 // Leaf locks that never nest around other locks (BlockingQueue, ThreadPool
 // idle wait, FaultInjector stuck state, CaptureSink) stay unranked: the
@@ -111,7 +111,8 @@ namespace lock_order {
 inline LockRank bus;
 inline LockRank health ODA_ACQUIRED_AFTER(bus);
 inline LockRank store_shard ODA_ACQUIRED_AFTER(health);
-inline LockRank interner ODA_ACQUIRED_AFTER(store_shard);
+inline LockRank wal ODA_ACQUIRED_AFTER(store_shard);
+inline LockRank interner ODA_ACQUIRED_AFTER(wal);
 inline LockRank metrics ODA_ACQUIRED_AFTER(interner);
 inline LockRank trace ODA_ACQUIRED_AFTER(metrics);
 inline LockRank log ODA_ACQUIRED_AFTER(trace);

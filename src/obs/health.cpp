@@ -183,6 +183,49 @@ PipelineHealthReport assess_pipeline_health(const MetricsSnapshot& snap) {
   }
 
   {
+    // WAL degradation is level-triggered: once the durable tier fell back
+    // to in-memory-only mode (ENOSPC, torn write, fsync failure) it stays
+    // degraded until restart, and so does this check. Absent family means
+    // no WAL is attached — healthy by construction.
+    HealthCheck check;
+    check.name = "wal.degraded";
+    const MetricFamily* fam = snap.find("oda_wal_degraded");
+    if (fam == nullptr || fam->values.empty()) {
+      check.ok = true;
+      check.detail = "(no data)";
+    } else {
+      const double degraded = snap.total("oda_wal_degraded");
+      check.ok = degraded == 0.0;
+      check.detail = degraded == 0.0
+                         ? "durable tier healthy"
+                         : "WAL degraded to in-memory-only mode (samples "
+                           "since the fault are not durable)";
+    }
+    report.checks.push_back(std::move(check));
+  }
+
+  {
+    // Informational: recovery truncation is the mechanism *working* (the
+    // torn tail was cut and accounted), so it never degrades health — but
+    // an operator should see that a crash left bytes behind.
+    HealthCheck check;
+    check.name = "wal.replay";
+    const MetricFamily* replayed = snap.find("oda_wal_replayed_samples_total");
+    if (replayed == nullptr) {
+      check.ok = true;
+      check.detail = "(no data)";
+    } else {
+      check.ok = true;
+      check.detail =
+          fmt("%.0f samples replayed, ",
+              snap.total("oda_wal_replayed_samples_total")) +
+          fmt("%.0f bytes truncated at recovery",
+              snap.total("oda_wal_truncated_bytes_total"));
+    }
+    report.checks.push_back(std::move(check));
+  }
+
+  {
     HealthCheck check;
     check.name = "store.memory";
     const MetricFamily* fam = snap.find("oda_store_memory_bytes");

@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "telemetry/agg_kernels.hpp"
+#include "telemetry/wal.hpp"
 
 namespace oda::telemetry {
 
@@ -172,6 +173,12 @@ TimeSeriesStore::Series& TimeSeriesStore::series_locked(Shard& shard,
 
 void TimeSeriesStore::insert(SeriesId id, Sample sample) {
   ODA_REQUIRE(id.valid(), "store insert with invalid series id");
+  if (wal_ != nullptr) {
+    // Write-ahead: log before applying, outside any shard lock. A refused
+    // append (degraded WAL) is accounted by the WAL; ingest continues.
+    const IdReading logged{id, sample};
+    wal_->append(std::span<const IdReading>(&logged, 1));
+  }
   {
     Shard& shard = shard_of(id);
     // Wait accounting rides the uniform contention machinery in sync.hpp
@@ -197,6 +204,10 @@ void TimeSeriesStore::insert_batch(std::span<const IdReading> readings) {
   StoreMetrics& metrics = StoreMetrics::get();
   metrics.batch_size.observe(static_cast<double>(readings.size()));
   if (readings.empty()) return;
+  if (wal_ != nullptr) {
+    // Write-ahead: one queue handoff per batch, before any shard lock.
+    wal_->append(readings);
+  }
   const std::size_t nshards = shards_.size();
 
   // Stable counting sort of reading indices by shard: each shard lock is

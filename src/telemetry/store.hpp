@@ -40,6 +40,8 @@ class Histogram;
 
 namespace oda::telemetry {
 
+class Wal;
+
 enum class Aggregation { kMean, kMin, kMax, kSum, kLast, kCount, kStdDev };
 
 struct SeriesSlice {
@@ -156,6 +158,15 @@ class TimeSeriesStore {
   /// must outlive the store (or be reset to nullptr first).
   void set_pool(ThreadPool* pool) { pool_ = pool; }
 
+  /// Optional durable write-ahead log (telemetry/wal.hpp): when attached,
+  /// every ingest path appends to it *before* taking any shard lock, so
+  /// durability rides the normal batching and never extends lock hold
+  /// times. Attach only after Wal::recover_into() has replayed into this
+  /// store (a store with the Wal already attached would re-log its own
+  /// replay); the Wal must outlive the store or be detached first.
+  void set_wal(Wal* wal) { wal_ = wal; }
+  Wal* wal() const { return wal_; }
+
   // -- catalog ----------------------------------------------------------------
   bool contains(const std::string& path) const;
   bool contains(SeriesId id) const;
@@ -223,6 +234,7 @@ class TimeSeriesStore {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> total_inserted_{0};
   ThreadPool* pool_ = nullptr;
+  Wal* wal_ = nullptr;
   // Per-shard instruments, owned by the global registry and shared across
   // stores with the same shard index (aggregate semantics, like the
   // process-wide insert/query counters). Lock-wait attribution lives in the
