@@ -16,14 +16,23 @@
 //     fixture compares the two byte-for-byte).
 //
 //   ./self_monitor [hours=8] [prom_out] [trace_out] [metrics_json_out]
-//                  [flight_out] [profile_out] [cp_out] [wal_dir]
+//                  [flight_out] [profile_out] [cp_out] [wal_dir] [http_port]
 //
 // With a wal_dir ("-" or empty disables), ingest is write-ahead logged: a
 // prior run's segments are replayed into the store before collection starts
 // and every batch is group-committed to disk (telemetry/wal.hpp). SIGTERM
-// requests a graceful shutdown: the run loop exits, the WAL is flushed and
-// fsynced (an orderly stop leaves no tail for recovery to truncate), final
-// metrics are exported, and the process exits 0.
+// requests a graceful shutdown: the HTTP plane quiesces first (stop
+// accepting, drain in-flight responses), then the run loop's WAL is flushed
+// and fsynced (an orderly stop leaves no tail for recovery to truncate),
+// final metrics are exported, and the process exits 0.
+//
+// With an http_port ("-" or absent disables; "0" = ephemeral), the live
+// introspection plane comes up: an ObsServer answers /metrics, /healthz,
+// /trace, /profile, /flight, /varz and /selfscrape while the pipeline runs,
+// and a SelfScrape pass per simulated step feeds the process's own oda_*
+// series back into the same store — queryable live at /selfscrape. The
+// bound port is announced on stdout ("obs server listening on ...") so
+// harnesses (scripts/scrape_smoke.py) can attach to an ephemeral port.
 //
 // The always-on flight recorder is exported too: its ring dump (last spans
 // on every thread, causal ids included) goes to flight_out, and the same
@@ -31,6 +40,7 @@
 // assess_pipeline_health on a healthy -> unhealthy edge.
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -56,6 +66,8 @@
 #include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
+#include "net/obs_server.hpp"
+#include "net/self_scrape.hpp"
 #include "sim/cluster.hpp"
 #include "telemetry/bus.hpp"
 #include "telemetry/collector.hpp"
@@ -97,6 +109,7 @@ int main(int argc, char** argv) {
   const char* profile_out = argc > 6 ? argv[6] : "self_monitor.folded";
   const char* cp_out = argc > 7 ? argv[7] : "self_monitor_critical_path.txt";
   const std::string wal_dir = argc > 8 ? argv[8] : "";
+  const std::string http_port = argc > 9 ? argv[9] : "-";
 
   std::signal(SIGTERM, handle_sigterm);
 
@@ -140,6 +153,28 @@ int main(int argc, char** argv) {
                 recovered.tail_truncated ? " (tail truncated)" : "");
   }
 
+  // Live introspection plane: HTTP endpoints over the running process plus
+  // the reflexive scrape loop feeding oda_* metrics back into `store`.
+  // Inert when no port is given or ODA_NET=OFF (start() reports false).
+  net::SelfScrape selfscrape(store);
+  std::optional<net::ObsServer> obs_server;
+  if (http_port != "-" && net::net_enabled()) {
+    net::ObsServerOptions obs_opts;
+    obs_opts.http.port =
+        static_cast<std::uint16_t>(std::atoi(http_port.c_str()));
+    obs_server.emplace(obs_opts);
+    obs_server->set_store(&store);
+    if (obs_server->start()) {
+      std::printf("obs server listening on 127.0.0.1:%u\n",
+                  static_cast<unsigned>(obs_server->port()));
+      std::fflush(stdout);
+    } else {
+      std::fprintf(stderr, "obs server failed to start on port %s\n",
+                   http_port.c_str());
+      obs_server.reset();
+    }
+  }
+
   telemetry::MessageBus bus;
   ThreadPool pool(2);
   telemetry::Collector collector(cluster, &store, &bus, &pool);
@@ -181,8 +216,22 @@ int main(int argc, char** argv) {
     cluster.step();
     collector.collect();
     control.tick();
+    if (obs_server.has_value()) selfscrape.scrape_once(cluster.now());
   }
   const bool interrupted = g_sigterm.load(std::memory_order_relaxed);
+
+  // Quiesce the HTTP plane FIRST: stop accepting, drain in-flight
+  // responses, join the reactor. Ordering matters on SIGTERM — a scraper
+  // mid-request during shutdown still gets a complete response (the drain
+  // phase services parsed requests), and nothing touches the store while
+  // the WAL below detaches and flushes.
+  if (obs_server.has_value()) {
+    obs_server->stop();
+    std::printf("obs server quiesced; self-scrape: %llu passes, %llu samples "
+                "ingested\n",
+                static_cast<unsigned long long>(selfscrape.passes()),
+                static_cast<unsigned long long>(selfscrape.samples_ingested()));
+  }
 
   // Graceful shutdown of the durable tier: detach from the store first so
   // nothing logs after the flush, then flush+fsync and join the writer. An

@@ -20,8 +20,11 @@ Checks, without any third-party dependency:
     (backticked `oda_*` tokens; `{a,b}` brace groups expand) — the
     inventory-drift gate for docs/OBSERVABILITY.md.
 
-Usage: check_prom.py <file.prom> [--require-prefix oda_]
+Usage: check_prom.py <file.prom | http://host:port/metrics | ->
+                     [--require-prefix oda_]
                      [--require-exemplar FAMILY] [--inventory DOC.md]
+The input may be a file path, a live http(s):// URL (scraped directly),
+or "-" for stdin.
 Exit status 0 when the file is valid, 1 otherwise (problems on stderr).
 """
 
@@ -96,6 +99,24 @@ def expand_braces(token):
     return out
 
 
+def read_source(source):
+    """Text from a file path, a live http(s):// URL, or "-" for stdin.
+
+    The URL form lets the scrape-smoke harness point this checker straight
+    at a running ObsServer's /metrics endpoint; stdin supports piping
+    `curl ... | check_prom.py -`.
+    """
+    if source == "-":
+        return sys.stdin.read()
+    if source.startswith(("http://", "https://")):
+        import urllib.request
+
+        with urllib.request.urlopen(source, timeout=10) as resp:
+            return resp.read().decode("utf-8")
+    with open(source, encoding="utf-8") as f:
+        return f.read()
+
+
 def documented_families(doc_path):
     """Backticked oda_* names from a markdown inventory, braces expanded."""
     with open(doc_path, encoding="utf-8") as f:
@@ -116,8 +137,7 @@ def check(path, require_prefix=None, require_exemplar=(), inventory=None):
     exemplar_families = set()
     families_with_samples = set()
 
-    with open(path, encoding="utf-8") as f:
-        lines = f.read().splitlines()
+    lines = read_source(path).splitlines()
 
     for lineno, line in enumerate(lines, 1):
         if not line.strip():
@@ -249,7 +269,10 @@ def check(path, require_prefix=None, require_exemplar=(), inventory=None):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("file")
+    parser.add_argument(
+        "file",
+        help="file path, live http(s):// URL, or - for stdin",
+    )
     parser.add_argument(
         "--require-prefix",
         default=None,

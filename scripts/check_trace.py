@@ -17,7 +17,10 @@ Checks, without any third-party dependency:
   * flow events pair up: every flow id appears with both "s" and "f";
   * with --min-events N: at least N non-flow events are present.
 
-Usage: check_trace.py <trace.json> [--allow-missing-parents] [--min-events N]
+Usage: check_trace.py <trace.json | http://host:port/trace | ->
+                      [--allow-missing-parents] [--min-events N]
+The input may be a file path, a live http(s):// URL (scraped directly from
+a running ObsServer's /trace or /flight endpoint), or "-" for stdin.
 Exit status 0 when the file is valid, 1 otherwise (problems on stderr).
 """
 
@@ -37,11 +40,23 @@ def is_number(v):
     return isinstance(v, (int, float)) and not isinstance(v, bool)
 
 
+def read_source(source):
+    """Text from a file path, a live http(s):// URL, or "-" for stdin."""
+    if source == "-":
+        return sys.stdin.read()
+    if source.startswith(("http://", "https://")):
+        import urllib.request
+
+        with urllib.request.urlopen(source, timeout=10) as resp:
+            return resp.read().decode("utf-8")
+    with open(source, encoding="utf-8") as f:
+        return f.read()
+
+
 def check(path, allow_missing_parents=False, min_events=0):
     problems = []
     try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
+        doc = json.loads(read_source(path))
     except (OSError, json.JSONDecodeError) as e:
         return [f"cannot parse {path}: {e}"], 0
 
@@ -160,7 +175,10 @@ def check(path, allow_missing_parents=False, min_events=0):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("file")
+    parser.add_argument(
+        "file",
+        help="file path, live http(s):// URL, or - for stdin",
+    )
     parser.add_argument(
         "--allow-missing-parents",
         action="store_true",

@@ -1,0 +1,119 @@
+#include "net/self_scrape.hpp"
+
+#include <chrono>
+#include <span>
+#include <utility>
+
+#include "common/thread_watch.hpp"
+#include "telemetry/store.hpp"
+
+namespace oda::net {
+
+namespace {
+
+/// "<prefix><family>" or "<prefix><family>{k=v,...}" (labels arrive sorted
+/// from registration). The store treats paths as opaque strings, so the
+/// braces survive round trips and "oda/*" glob-matches every series.
+std::string series_path(const std::string& prefix, const std::string& family,
+                        const obs::LabelSet& labels,
+                        const char* suffix = "") {
+  std::string path = prefix + family + suffix;
+  if (labels.empty()) return path;
+  path += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) path += ',';
+    first = false;
+    path += key;
+    path += '=';
+    path += value;
+  }
+  path += '}';
+  return path;
+}
+
+}  // namespace
+
+SelfScrape::SelfScrape(telemetry::TimeSeriesStore& store,
+                       SelfScrapeOptions opts)
+    : store_(store),
+      opts_(std::move(opts)),
+      passes_counter_(obs::MetricsRegistry::global().counter(
+          "oda_selfscrape_passes_total",
+          "Self-scrape passes over the metrics registry")),
+      samples_counter_(obs::MetricsRegistry::global().counter(
+          "oda_selfscrape_samples_total",
+          "Samples ingested into the store by the self-scrape loop")),
+      series_gauge_(obs::MetricsRegistry::global().gauge(
+          "oda_selfscrape_series",
+          "Series ingested by the most recent self-scrape pass")) {}
+
+SelfScrape::~SelfScrape() { stop(); }
+
+std::size_t SelfScrape::scrape_once(TimePoint now) {
+  if (!net_enabled()) return 0;
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::global().snapshot();
+  std::vector<telemetry::IdReading> batch;
+  batch.reserve(256);
+  telemetry::SeriesInterner& interner = telemetry::SeriesInterner::global();
+  // Sequential lock sections (metrics above, interner here, store shards in
+  // insert_batch) — never nested, so the lock hierarchy is untouched.
+  for (const obs::MetricFamily& family : snapshot.families) {
+    for (const obs::SeriesValue& value : family.values) {
+      const telemetry::SeriesId id = interner.intern(
+          series_path(opts_.prefix, family.name, value.labels));
+      batch.push_back({id, {now, value.value}});
+    }
+    for (const obs::HistogramValue& hist : family.histograms) {
+      const telemetry::SeriesId sum_id = interner.intern(
+          series_path(opts_.prefix, family.name, hist.labels, "_sum"));
+      batch.push_back({sum_id, {now, hist.sum}});
+      const telemetry::SeriesId count_id = interner.intern(
+          series_path(opts_.prefix, family.name, hist.labels, "_count"));
+      batch.push_back(
+          {count_id, {now, static_cast<double>(hist.count)}});
+    }
+  }
+  store_.insert_batch(std::span<const telemetry::IdReading>(batch));
+  passes_.fetch_add(1, std::memory_order_relaxed);
+  samples_.fetch_add(batch.size(), std::memory_order_relaxed);
+  passes_counter_.inc();
+  samples_counter_.inc(batch.size());
+  series_gauge_.set(static_cast<double>(batch.size()));
+  return batch.size();
+}
+
+bool SelfScrape::start(std::function<TimePoint()> clock) {
+  if (!net_enabled()) return false;
+  if (running_.load(std::memory_order_relaxed)) return false;
+  stop_requested_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this, clk = std::move(clock)] { run(clk); });
+  return true;
+}
+
+void SelfScrape::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void SelfScrape::run(std::function<TimePoint()> clock) {
+  WatchedThreadScope watch("net.self_scrape");
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    scrape_once(clock());
+    // Sleep in small slices so stop() returns promptly without a timed
+    // condvar (oda::CondVar deliberately has no timed wait).
+    double remaining_s = opts_.period_s;
+    while (remaining_s > 0.0 &&
+           !stop_requested_.load(std::memory_order_relaxed)) {
+      const double slice_s = remaining_s < 0.05 ? remaining_s : 0.05;
+      std::this_thread::sleep_for(std::chrono::duration<double>(slice_s));
+      remaining_s -= slice_s;
+    }
+  }
+}
+
+}  // namespace oda::net

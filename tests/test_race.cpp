@@ -29,6 +29,15 @@
 #include "obs/trace.hpp"
 #include "telemetry/bus.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/obs_server.hpp"
+#include "net/self_scrape.hpp"
+#include "telemetry/store.hpp"
+
 namespace oda {
 namespace {
 
@@ -744,6 +753,122 @@ TEST(RaceStress, ProfilerSamplesConcurrentPipelineTraffic) {
   prof.clear();
 }
 #endif  // ODA_PROFILING_ENABLED
+
+// --------------------------------------------- live introspection plane
+
+// Concurrent HTTP scrapers hammering an ObsServer while the pipeline it
+// observes keeps mutating: metric writers spin counters and histograms,
+// a self-scrape loop snapshots the registry into a TimeSeriesStore, and
+// two client threads GET /metrics and /selfscrape over fresh connections.
+// Every layer the scrape path crosses (registry snapshot, store shards,
+// interner, reactor post queue, connection table) is exercised against
+// writers — the interleavings TSan exists to catch.
+TEST(RaceStress, HttpScrapesRaceThePipeline) {
+  if (!net::net_enabled()) GTEST_SKIP() << "ODA_NET=OFF";
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter& spin_counter =
+      registry.counter("oda_test_race_http_total", "race-test counter");
+  obs::Histogram& spin_hist = registry.histogram(
+      "oda_test_race_http_seconds", "race-test histogram");
+
+  telemetry::TimeSeriesStore store(1 << 12);
+  net::SelfScrape scraper(store);
+
+  net::ObsServerOptions opts;
+  opts.http.port = 0;
+  net::ObsServer server(opts);
+  server.set_store(&store);
+  ASSERT_TRUE(server.start());
+  const std::uint16_t port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> scrapes_ok{0};
+
+  // One full GET round trip on a fresh loopback connection.
+  const auto scrape = [port](const char* target) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      return false;
+    }
+    const std::string req = std::string("GET ") + target +
+                            " HTTP/1.1\r\nConnection: close\r\n\r\n";
+    std::size_t off = 0;
+    while (off < req.size()) {
+      const ssize_t n =
+          ::send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        ::close(fd);
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    std::string out;
+    char buf[4096];
+    for (;;) {  // Connection: close — read to EOF
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n < 0) {
+        ::close(fd);
+        return false;
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out.compare(0, 12, "HTTP/1.1 200") == 0;
+  };
+
+  std::vector<std::thread> threads;
+  // Metric writers: the state every scrape snapshots.
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&stop, &spin_counter, &spin_hist, w] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        spin_counter.inc();
+        spin_hist.observe(0.001 * static_cast<double>((i + w) % 100));
+        ++i;
+      }
+    });
+  }
+  // Self-scrape loop: registry -> store while clients read both.
+  threads.emplace_back([&stop, &scraper] {
+    TimePoint t = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      scraper.scrape_once(++t);
+    }
+  });
+  // HTTP scrapers.
+  const char* targets[] = {"/metrics", "/selfscrape"};
+  for (const char* target : targets) {
+    threads.emplace_back([&stop, &scrapes_ok, &scrape, target] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (scrape(target)) {
+          scrapes_ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Run until both scraper threads have seen real traffic (bounded).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (scrapes_ok.load(std::memory_order_relaxed) < 20 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  server.stop();  // drain races the last in-flight scrapes
+
+  EXPECT_GE(scrapes_ok.load(std::memory_order_relaxed), 20u);
+  EXPECT_FALSE(store.match("oda/*").empty());
+}
 
 }  // namespace
 }  // namespace oda
